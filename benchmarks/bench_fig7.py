@@ -1,0 +1,93 @@
+"""Figure 7: throughput (a-c) and p99.99 tail latency (d-f) across ratios."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import (
+    format_fig7,
+    mean_tail_reduction,
+    pair_up,
+    run_fig7,
+)
+
+
+def _grid(benchmark, mixes, speeds, ratios=("1:1", "2:2", "1:4"), total_ops=500):
+    return run_once(
+        benchmark, run_fig7, ratios=ratios, speeds=speeds, mixes=mixes, total_ops=total_ops
+    )
+
+
+def test_fig7a_read_throughput(benchmark, show):
+    """7(a): oPF read throughput rises with TC count; SPDK stays flat or
+    declines; the 1:4 gap is the largest."""
+    points = _grid(benchmark, mixes=("read",), speeds=(10.0, 100.0))
+    pairs = pair_up(points)
+
+    def gain(ratio, gbps):
+        spdk, opf = next(
+            p for p in pairs if p[0].ratio == ratio and p[0].network_gbps == gbps
+        )
+        return opf.tc_throughput_mbps / spdk.tc_throughput_mbps
+
+    # oPF wins at every measured point and the multi-tenant gap exceeds 1:1.
+    for gbps in (10.0, 100.0):
+        assert gain("1:4", gbps) > 1.15
+        assert gain("1:4", gbps) >= gain("2:2", gbps) * 0.9
+    # SPDK does not scale with added TC tenants (flat-to-declining).
+    spdk_11 = next(p for p, _ in pairs if p.ratio == "1:1" and p.network_gbps == 100.0)
+    spdk_14 = next(p for p, _ in pairs if p.ratio == "1:4" and p.network_gbps == 100.0)
+    assert spdk_14.tc_throughput_mbps <= spdk_11.tc_throughput_mbps * 1.10
+    # oPF at 10G approaches its 100G level (Obs. 2: similar across fabrics).
+    opf_10 = next(o for p, o in pairs if p.ratio == "1:4" and p.network_gbps == 10.0)
+    opf_100 = next(o for p, o in pairs if p.ratio == "1:4" and p.network_gbps == 100.0)
+    assert opf_10.tc_throughput_mbps > 0.80 * opf_100.tc_throughput_mbps
+
+    show(format_fig7(points))
+
+
+def test_fig7c_write_throughput(benchmark, show):
+    """7(c): write gains appear at 100G with several TC tenants; 10G writes
+    are fabric-limited with much smaller gains than reads enjoy."""
+    points = _grid(benchmark, mixes=("write",), speeds=(10.0, 100.0))
+    pairs = pair_up(points)
+
+    spdk_14, opf_14 = next(
+        p for p in pairs if p[0].ratio == "1:4" and p[0].network_gbps == 100.0
+    )
+    gain_100 = opf_14.tc_throughput_mbps / spdk_14.tc_throughput_mbps
+    assert gain_100 > 1.12  # paper: +32.6%
+
+    show(format_fig7(points))
+
+
+def test_fig7b_mixed_throughput(benchmark, show):
+    """7(b): mixed 50:50 sits between read and write behaviour."""
+    points = _grid(benchmark, mixes=("rw50",), speeds=(100.0,))
+    pairs = pair_up(points)
+    spdk, opf = next(p for p in pairs if p[0].ratio == "1:4")
+    assert opf.tc_throughput_mbps > spdk.tc_throughput_mbps * 1.10
+    show(format_fig7(points))
+
+
+def test_fig7def_tail_latency(benchmark, show):
+    """7(d-f): oPF cuts LS p99.99; SPDK's tail grows with TC tenants."""
+    points = _grid(
+        benchmark, mixes=("read", "write"), speeds=(100.0,), ratios=("1:1", "1:2", "1:4")
+    )
+    pairs = pair_up(points)
+
+    # Tail reduction on average (paper Obs. 3: ~25.6%).
+    avg_reduction = mean_tail_reduction(points)
+    assert avg_reduction > 10.0
+
+    # SPDK read tail grows as TC initiators are added; oPF stays below it.
+    def tail(protocol, ratio, mix):
+        for spdk, opf in pairs:
+            if spdk.ratio == ratio and spdk.op_mix == mix:
+                return (spdk if protocol == "spdk" else opf).ls_tail_us
+        raise AssertionError("missing point")
+
+    assert tail("spdk", "1:4", "read") > tail("spdk", "1:1", "read") * 1.5
+    for ratio in ("1:1", "1:2", "1:4"):
+        assert tail("nvme-opf", ratio, "read") < tail("spdk", ratio, "read")
+
+    show(format_fig7(points))

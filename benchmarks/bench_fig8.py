@@ -1,0 +1,53 @@
+"""Figure 8: scale-out studies on 100 Gbps (patterns 1 and 2)."""
+
+from conftest import run_once
+
+from repro.experiments.fig8 import curve_gain_at_max_scale, format_fig8, run_fig8
+
+
+def test_fig8_pattern1_initiators_per_node(benchmark, show):
+    """8(a-c): SPDK plateaus as initiators per node grow; oPF keeps
+    scaling and wins at 25 tenants."""
+    curves = run_once(
+        benchmark,
+        run_fig8,
+        mixes=("read", "write"),
+        patterns=(1,),
+        per_node_range=[1, 3, 5],
+        total_ops=600,
+    )
+    for mix in ("read", "write"):
+        spdk = next(c for c in curves if c.op_mix == mix and c.protocol == "spdk")
+        opf = next(c for c in curves if c.op_mix == mix and c.protocol == "nvme-opf")
+        # oPF beats SPDK at the largest scale (Obs. 4).
+        assert opf.points[-1].throughput_mbps > spdk.points[-1].throughput_mbps * 1.10
+        # SPDK saturates: the last doubling of tenants adds little.
+        spdk_mid, spdk_max = spdk.points[-2], spdk.points[-1]
+        tenants_growth = spdk_max.total_initiators / spdk_mid.total_initiators
+        tput_growth = spdk_max.throughput_mbps / spdk_mid.throughput_mbps
+        assert tput_growth < tenants_growth * 0.85
+    show(format_fig8(curves))
+
+
+def test_fig8_pattern2_node_scaling(benchmark, show):
+    """8(d-f): both scale with node count (each pair adds a target/SSD),
+    oPF with a persistent edge (paper: read +19.6%, write +95.2%)."""
+    curves = run_once(
+        benchmark,
+        run_fig8,
+        mixes=("read", "write"),
+        patterns=(2,),
+        pairs_range=[1, 3, 5],
+        total_ops=600,
+    )
+    for mix in ("read", "write"):
+        spdk = next(c for c in curves if c.op_mix == mix and c.protocol == "spdk")
+        opf = next(c for c in curves if c.op_mix == mix and c.protocol == "nvme-opf")
+        # Linear-ish scaling with nodes for oPF (each node pair is
+        # independent hardware): 5 pairs ~ 5x one pair.
+        first, last = opf.points[0], opf.points[-1]
+        scale = last.total_initiators / first.total_initiators
+        assert last.throughput_mbps > first.throughput_mbps * scale * 0.8
+        # oPF edge at max scale.
+        assert last.throughput_mbps > spdk.points[-1].throughput_mbps * 1.10
+    show(format_fig8(curves))

@@ -1,0 +1,91 @@
+"""Open-loop load/latency study (trace-driven).
+
+The closed-loop perf runs measure capacity; this study answers the SRE
+question instead: *at a fixed offered load, what latency do tenants see,
+and where does the system saturate?*  A Poisson trace with 10%
+latency-sensitive requests is replayed open-loop at increasing offered
+IOPS against both runtimes.
+
+Expected shape: both runtimes track the offered load while unsaturated;
+the baseline's hockey stick (latency blow-up + shed requests) arrives at
+a lower offered load than NVMe-oPF's, and the LS class keeps a flat
+latency profile on oPF well past the baseline's knee.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.core.flags import Priority
+from repro.metrics import format_table
+from repro.net import Fabric
+from repro.simcore import Environment, RandomStreams
+from repro.workloads import TraceReplayer, synthesize_trace
+
+
+def run_point(protocol: str, offered_iops: float, duration_us: float = 8_000.0,
+              seed: int = 11):
+    env = Environment()
+    fabric = Fabric(env, rate_gbps=100)
+    tnode = TargetNode(env, "t0", fabric, RandomStreams(seed), protocol=protocol)
+    inode = InitiatorNode(env, "c0", fabric)
+    initiator = inode.add_initiator(
+        "replay", tnode, protocol=protocol, queue_depth=256, window_size=32
+    )
+    env.run(until=initiator.connect())
+    trace = synthesize_trace(
+        RandomStreams(seed).stream("trace"),
+        duration_us=duration_us,
+        iops=offered_iops,
+        read_fraction=1.0,
+        latency_fraction=0.1,
+    )
+    replayer = TraceReplayer(env, initiator, trace)
+    env.run(until=replayer.done)
+    env.run()
+    ls = replayer.latencies(Priority.LATENCY)
+    tc = replayer.latencies(Priority.THROUGHPUT)
+    return {
+        "offered_kiops": offered_iops / 1000.0,
+        "issued": replayer.issued,
+        "shed_pct": 100.0 * replayer.dropped / len(trace),
+        "ls_mean_us": float(np.mean(ls)) if ls else float("nan"),
+        "tc_mean_us": float(np.mean(tc)) if tc else float("nan"),
+    }
+
+
+def test_load_latency_curve(benchmark, show):
+    loads = (50_000, 150_000, 250_000, 350_000)
+
+    def run_all():
+        rows = {}
+        for protocol in ("spdk", "nvme-opf"):
+            rows[protocol] = [run_point(protocol, load) for load in loads]
+        return rows
+
+    rows = run_once(benchmark, run_all)
+
+    # Below saturation both systems shed (almost) nothing.
+    assert rows["spdk"][0]["shed_pct"] < 1.0
+    assert rows["nvme-opf"][0]["shed_pct"] < 1.0
+    # Past the baseline's capacity (~215k IOPS) it sheds heavily while oPF
+    # (device-bound ~320k) still absorbs most of the offered load.
+    spdk_hi = rows["spdk"][-1]
+    opf_hi = rows["nvme-opf"][-1]
+    assert spdk_hi["shed_pct"] > opf_hi["shed_pct"] + 5.0
+    # The LS class stays well below the TC class at high load under oPF.
+    assert opf_hi["ls_mean_us"] < opf_hi["tc_mean_us"] * 0.6
+
+    table_rows = []
+    for protocol, points in rows.items():
+        for p in points:
+            table_rows.append([
+                protocol, p["offered_kiops"], p["shed_pct"],
+                p["ls_mean_us"], p["tc_mean_us"],
+            ])
+    show(format_table(
+        ["runtime", "offered kIOPS", "shed %", "LS mean us", "TC mean us"],
+        table_rows,
+        title="Open-loop load/latency study (Poisson reads, 10% LS)",
+    ))

@@ -1,0 +1,19 @@
+"""Table I: testbed configuration (regenerated from the presets)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1, table1_rows
+
+
+def test_table1(benchmark, show):
+    rows = run_once(benchmark, table1_rows)
+    # The table must carry the paper's values.
+    as_text = "\n".join(" ".join(str(c) for c in row) for row in rows)
+    assert "AMD EPYC 7352 2.3GHz" in as_text
+    assert "AMD EPYC 7543 2.8GHz" in as_text
+    assert "24" in as_text and "32" in as_text
+    assert "10/25 Gbps" in as_text and "100 Gbps" in as_text
+    assert "3.2 TB" in as_text and "1.6 TB" in as_text
+    from repro.metrics import format_table
+
+    show(format_table(["", "CC", "CL"], rows, title="Table I"))

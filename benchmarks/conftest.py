@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs a reduced-size version of its figure's full grid (the
+same code paths `nvme-opf <figure>` runs at full size), prints the rows the
+paper plots, and asserts the figure's *shape*: who wins, roughly by what
+factor, where saturation/crossover lands.  Absolute numbers are simulator
+outputs, not testbed reproductions — see EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Figure regenerations are long-running and deterministic; statistical
+    rounds would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def show():
+    """Print a block with spacing so -s output stays readable."""
+
+    def _show(text: str) -> None:
+        print("\n" + text + "\n")
+
+    return _show

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fabric comparison: NVMe-oF over TCP vs over RDMA, with and without
+priority schemes.
+
+NVMe-oF binds to both TCP and RDMA fabrics.  The paper evaluates TCP; this
+example runs the same 1:4 multi-tenant scenario over both bindings and
+shows an extended result the reproduction surfaces: completion coalescing
+attacks *per-message* costs, so its payoff is largest on the expensive TCP
+path and shrinks (without vanishing) on kernel-bypass RDMA.
+
+Run:  python examples/fabric_comparison.py
+"""
+
+from repro import Scenario, ScenarioConfig, format_table, tenants_for_ratio
+
+
+def run(protocol: str, transport: str):
+    config = ScenarioConfig(
+        protocol=protocol,
+        transport=transport,
+        network_gbps=100.0,
+        op_mix="read",
+        total_ops=1000,
+        window_size=32,
+        seed=4,
+    )
+    scenario = Scenario.two_sided(config, tenants_for_ratio("1:4"))
+    return scenario.run()
+
+
+def main() -> None:
+    rows = []
+    gains = {}
+    for transport in ("tcp", "rdma"):
+        spdk = run("spdk", transport)
+        opf = run("nvme-opf", transport)
+        gains[transport] = opf.tc_throughput_mbps / spdk.tc_throughput_mbps - 1
+        for label, res in (("spdk", spdk), ("nvme-opf", opf)):
+            rows.append([
+                transport.upper(),
+                label,
+                res.tc_throughput_mbps,
+                res.ls_tail_us,
+                res.tcp_retransmits,
+                res.completion_notifications,
+            ])
+    print(format_table(
+        ["fabric", "runtime", "TC MB/s", "LS p99.99 us", "retransmits", "notifications"],
+        rows,
+        title="NVMe-oF fabric bindings, 1 LS + 4 TC tenants @ 100 Gbps",
+    ))
+    print(
+        f"\nCoalescing gain: {gains['tcp']:+.1%} over TCP vs {gains['rdma']:+.1%} over RDMA.\n"
+        "RDMA's kernel bypass removes much of the per-completion CPU the\n"
+        "baseline wastes, so priority schemes buy less there — which is why\n"
+        "the paper's TCP focus is where the technique matters most."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Key-value serving during compaction — the classic noisy-background case.
+
+A log-structured KV store serves interactive GETs while its own compaction
+(bulk, throughput-critical) churns in the background, plus a second tenant
+streaming writes to the same remote SSD.  GET probes are latency-sensitive
+block reads; compaction is coalesced bulk I/O.
+
+With the priority-blind baseline, every GET waits behind the compaction
+and neighbour backlog; with NVMe-oPF the GETs bypass it and the bulk work
+finishes *faster* (coalesced completions).
+
+Run:  python examples/kvstore_compaction.py
+"""
+
+import numpy as np
+
+from repro.apps import KvStore
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.metrics import LatencyDistribution, format_table
+from repro.net import Fabric
+from repro.simcore import Environment, RandomStreams
+from repro.workloads import PerfConfig, PerfGenerator
+
+N_KEYS = 256
+N_GETS = 150
+
+
+def run(protocol: str):
+    env = Environment()
+    fabric = Fabric(env, rate_gbps=100)
+    tnode = TargetNode(env, "storage", fabric, RandomStreams(23), protocol=protocol)
+    inode = InitiatorNode(env, "kv-host", fabric)
+    kv_init = inode.add_initiator("kv", tnode, protocol=protocol,
+                                  queue_depth=64, window_size=16)
+    env.run(until=kv_init.connect())
+    store = KvStore(env, kv_init, memtable_limit=32, region_blocks=1 << 14)
+
+    # A neighbour tenant streams throughput-critical writes throughout.
+    neighbor = inode.add_initiator("etl", tnode, protocol=protocol, queue_depth=128)
+    env.run(until=neighbor.connect())
+    noise = PerfGenerator(
+        env, neighbor,
+        PerfConfig(op_mix="write", queue_depth=128, total_ops=10**9),
+        rng=RandomStreams(23).stream("noise"),
+    )
+    noise.start()
+
+    get_latencies = LatencyDistribution()
+    rng = np.random.default_rng(23)
+
+    def app(env):
+        # Load phase: populate the store (flushes happen automatically).
+        for i in range(N_KEYS):
+            yield from store.put(f"user:{i}", int(rng.integers(64, 512)))
+        # Serve GETs while compaction runs concurrently.
+        compaction = env.process(store.compact(), name="compaction")
+        for _ in range(N_GETS):
+            key = f"user:{int(rng.integers(0, N_KEYS))}"
+            t0 = env.now
+            yield from store.get(key)
+            get_latencies.add(env.now - t0)
+        yield compaction
+        return store.stats
+
+    proc = env.process(app(env))
+    env.run(until=proc)
+    noise.stop()
+    env.run()
+    return store, get_latencies
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("spdk", "nvme-opf"):
+        store, gets = run(protocol)
+        rows.append([
+            protocol,
+            gets.mean(),
+            gets.p99(),
+            store.stats.flushes,
+            store.stats.compactions,
+            store.read_amplification,
+        ])
+    print(format_table(
+        ["runtime", "GET mean us", "GET p99 us", "flushes", "compactions", "read amp"],
+        rows,
+        title=f"KV store: {N_GETS} GETs during compaction + noisy neighbour",
+    ))
+    spdk, opf = rows
+    print(f"\nGET p99: {spdk[2]:.0f} -> {opf[2]:.0f} us "
+          f"({1 - opf[2] / spdk[2]:+.1%}) with identical application code — "
+          f"the store only tags its requests.")
+
+
+if __name__ == "__main__":
+    main()

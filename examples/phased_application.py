@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""A single application alternating priorities per request (§III-C).
+
+The paper motivates per-request flags with applications that switch
+phases: exchange metadata/control (latency matters) and then stream bulk
+data (throughput matters).  Because NVMe-oPF's flags ride on *each
+request*, one connection can get both behaviours — no reconnecting, no
+second qpair.
+
+This example runs a phased application — 8-op control phases at queue
+depth 1 alternating with 256-op bulk phases at queue depth 64 — on the
+baseline and on NVMe-oPF, and reports per-phase outcomes.
+
+Run:  python examples/phased_application.py
+"""
+
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.core import Priority
+from repro.metrics import format_table
+from repro.net import Fabric
+from repro.simcore import Environment, RandomStreams
+from repro.workloads import PhaseSpec, PhasedGenerator
+
+PHASES = [
+    PhaseSpec(Priority.LATENCY, ops=8, queue_depth=1, op_mix="write"),
+    PhaseSpec(Priority.THROUGHPUT, ops=256, queue_depth=64, op_mix="write"),
+]
+ROUNDS = 4
+
+
+def run(protocol: str):
+    env = Environment()
+    fabric = Fabric(env, rate_gbps=100)
+    tnode = TargetNode(env, "storage", fabric, RandomStreams(13), protocol=protocol)
+    inode = InitiatorNode(env, "app-host", fabric)
+    initiator = inode.add_initiator(
+        "phased-app", tnode, protocol=protocol, queue_depth=128, window_size=32
+    )
+    env.run(until=initiator.connect())
+
+    # A competing batch tenant keeps the target busy, as in production.
+    noisy = inode.add_initiator("neighbor", tnode, protocol=protocol, queue_depth=128)
+    env.run(until=noisy.connect())
+    from repro.workloads import PerfConfig, PerfGenerator
+
+    noise = PerfGenerator(
+        env, noisy, PerfConfig(op_mix="write", queue_depth=128, total_ops=10**9),
+        rng=RandomStreams(13).stream("noise"),
+    )
+    noise.start()
+
+    gen = PhasedGenerator(env, initiator, phases=PHASES, rounds=ROUNDS)
+    env.run(until=gen.done)
+    noise.stop()
+    env.run()
+    return gen
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("spdk", "nvme-opf"):
+        gen = run(protocol)
+        rows.append([
+            protocol,
+            gen.mean_control_latency(),
+            max(x for r in gen.results_for(Priority.LATENCY) for x in r.latencies),
+            gen.bulk_throughput_iops() / 1000.0,
+        ])
+    print(format_table(
+        ["runtime", "control mean us", "control worst us", "bulk kIOPS"],
+        rows,
+        title=f"Phased application next to a noisy neighbor ({ROUNDS} rounds)",
+    ))
+    spdk, opf = rows
+    print(
+        f"\nSame connection, same requests — only the per-request flags differ.\n"
+        f"Control-phase latency: {spdk[1]:.0f} -> {opf[1]:.0f} us "
+        f"({1 - opf[1] / spdk[1]:+.1%}); bulk throughput: "
+        f"{spdk[3]:.0f} -> {opf[3]:.0f} kIOPS ({opf[3] / spdk[3] - 1:+.1%})."
+    )
+
+
+if __name__ == "__main__":
+    main()

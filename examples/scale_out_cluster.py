@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Scale-out: many tenants over many storage nodes (the Figure 8 setup).
+
+Builds up to five initiator-node/target-node pairs at 100 Gbps and scales
+the tenant count, showing where the baseline plateaus and NVMe-oPF keeps
+scaling.  This is the deployment shape the paper motivates: disaggregated
+storage shared by a growing fleet of application hosts.
+
+Run:  python examples/scale_out_cluster.py
+"""
+
+from repro.cluster.scaling import pattern1, pattern2
+from repro.metrics import format_table
+
+
+def scaling_study(pattern_fn, label, axis):
+    rows = []
+    spdk_points = pattern_fn("spdk", "write", total_ops=400)
+    opf_points = pattern_fn("nvme-opf", "write", total_ops=400)
+    for s, o in zip(spdk_points, opf_points):
+        rows.append([
+            s.total_initiators,
+            s.throughput_mbps,
+            o.throughput_mbps,
+            (o.throughput_mbps / s.throughput_mbps - 1) * 100.0,
+            s.mean_latency_us,
+            o.mean_latency_us,
+        ])
+    print(format_table(
+        [axis, "SPDK MB/s", "oPF MB/s", "gain %", "SPDK lat us", "oPF lat us"],
+        rows,
+        title=label,
+    ))
+    print()
+
+
+def main() -> None:
+    print("Write workload, 100 Gbps, 4 KiB I/O, queue depth 128 per TC tenant.\n")
+    scaling_study(
+        lambda proto, mix, **kw: pattern1(proto, mix, n_node_pairs=3,
+                                          initiators_per_node_range=[1, 2, 3, 4, 5], **kw),
+        "Pattern 1: 3 node pairs, growing tenants per node (1 LS + rest TC)",
+        "tenants",
+    )
+    scaling_study(
+        lambda proto, mix, **kw: pattern2(proto, mix, node_pairs_range=[1, 2, 3, 4, 5], **kw),
+        "Pattern 2: 4 TC tenants per node, growing node pairs",
+        "tenants",
+    )
+    print("Each target node adds its own SSD and reactor core, so pattern 2\n"
+          "scales near-linearly for both systems — but every point keeps the\n"
+          "NVMe-oPF edge from completion coalescing and batched execution.")
+
+
+if __name__ == "__main__":
+    main()

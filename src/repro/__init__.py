@@ -1,0 +1,87 @@
+"""NVMe-oPF: priority schemes for NVMe-over-Fabrics with multi-tenancy.
+
+Simulation-based reproduction of Ng et al., IPDPS 2024.  The package builds
+the full stack from scratch: a discrete-event core (:mod:`repro.simcore`),
+a TCP fabric (:mod:`repro.net`), NVMe SSDs (:mod:`repro.ssd`), a baseline
+SPDK-style NVMe-oF runtime (:mod:`repro.nvmeof`), and the NVMe-oPF priority
+layer (:mod:`repro.core`), plus workloads, an HDF5 substrate, metrics, and
+the cluster/scenario harness that regenerates every figure of the paper
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import Scenario, ScenarioConfig, tenants_for_ratio
+
+    cfg = ScenarioConfig(protocol="nvme-opf", network_gbps=100,
+                         op_mix="read", total_ops=1000)
+    scenario = Scenario.two_sided(cfg, tenants_for_ratio("1:4"))
+    result = scenario.run()
+    print(result.tc_throughput_mbps, result.ls_tail_us)
+"""
+
+from .cluster import (
+    InitiatorNode,
+    PROTOCOL_OPF,
+    PROTOCOL_SPDK,
+    Scenario,
+    ScenarioConfig,
+    ScenarioResult,
+    TargetNode,
+)
+from .config import CHAMELEON_CC, CLOUDLAB_CL, network_tuning, preset_for_network
+from .core import (
+    OpfInitiator,
+    OpfTarget,
+    Priority,
+    SharedQueueOpfTarget,
+    select_window,
+)
+from .errors import ReproError
+from .metrics import Collector, LatencyDistribution, format_table
+from .nvmeof import NvmeOfInitiator, NvmeOfTarget
+from .simcore import Environment, RandomStreams
+from .ssd import NvmeSsd, SsdProfile
+from .workloads import (
+    PAPER_RATIOS,
+    PerfConfig,
+    PerfGenerator,
+    TenantSpec,
+    tenants_for_ratio,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CHAMELEON_CC",
+    "CLOUDLAB_CL",
+    "Collector",
+    "Environment",
+    "InitiatorNode",
+    "LatencyDistribution",
+    "NvmeOfInitiator",
+    "NvmeOfTarget",
+    "NvmeSsd",
+    "OpfInitiator",
+    "OpfTarget",
+    "PAPER_RATIOS",
+    "PROTOCOL_OPF",
+    "PROTOCOL_SPDK",
+    "PerfConfig",
+    "PerfGenerator",
+    "Priority",
+    "RandomStreams",
+    "ReproError",
+    "Scenario",
+    "ScenarioConfig",
+    "ScenarioResult",
+    "SharedQueueOpfTarget",
+    "SsdProfile",
+    "TargetNode",
+    "TenantSpec",
+    "format_table",
+    "network_tuning",
+    "preset_for_network",
+    "select_window",
+    "tenants_for_ratio",
+    "__version__",
+]

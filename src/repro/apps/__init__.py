@@ -1,0 +1,11 @@
+"""Application substrates built on the fabric block API.
+
+These are the tenants the paper's introduction motivates: interactive
+key-value serving (latency-sensitive) co-located with bulk/background
+work (throughput-critical).  `repro.hdf5sim` (the HDF5/h5bench substrate)
+lives in its own package because Figure 9 depends on it.
+"""
+
+from .kvstore import KvStats, KvStore, Segment
+
+__all__ = ["KvStats", "KvStore", "Segment"]

@@ -1,0 +1,241 @@
+"""A log-structured key-value store over remote block storage.
+
+The paper's introduction motivates multi-tenancy with data-center
+applications — key-value stores being the canonical latency-sensitive
+tenant (ReFlex, SplinterDB and Gimbal all evaluate KV traffic).  This
+module implements a small but functional LSM-flavoured store on top of the
+fabric block API, with the natural NVMe-oPF priority split:
+
+* **GET/PUT** — interactive operations, tagged latency-sensitive;
+* **compaction** — background merging of flushed segments, tagged
+  throughput-critical (and coalesced by NVMe-oPF).
+
+Layout: an in-memory memtable absorbs PUTs; at ``memtable_limit`` entries
+it flushes to an on-"disk" segment (sequential 4 KiB block writes through
+the initiator).  GETs hit the memtable, then segments newest-first; each
+segment probe costs one block read.  Compaction merges all segments into
+one, halving read amplification.  Values are sized, not stored — the
+simulator is zero-copy — but the *index* is real, so correctness tests can
+verify get-after-put across flushes and compactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
+
+from ..core.flags import Priority
+from ..core.initiator import OpfInitiator
+from ..errors import WorkloadError
+from ..ssd.latency import OP_READ, OP_WRITE
+from ..units import BLOCK_4K
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nvmeof.initiator import NvmeOfInitiator
+    from ..simcore.engine import Environment
+
+
+@dataclass
+class Segment:
+    """One immutable on-disk sorted run."""
+
+    segment_id: int
+    base_lba: int
+    index: Dict[str, Tuple[int, int]]  # key -> (block offset, value size)
+
+    @property
+    def nblocks(self) -> int:
+        return max((off for off, _ in self.index.values()), default=-1) + 1
+
+    def locate(self, key: str) -> Optional[Tuple[int, int]]:
+        entry = self.index.get(key)
+        if entry is None:
+            return None
+        offset, size = entry
+        return self.base_lba + offset, size
+
+
+@dataclass
+class KvStats:
+    """Operation counters for one store."""
+
+    puts: int = 0
+    gets: int = 0
+    hits_memtable: int = 0
+    hits_segment: int = 0
+    misses: int = 0
+    flushes: int = 0
+    compactions: int = 0
+    segment_probes: int = 0
+
+
+class KvStore:
+    """A single-tenant log-structured KV store on one fabric initiator.
+
+    All methods that touch storage are generator coroutines: run them from
+    a simulation process (``value = yield from store.get("k")``).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        initiator: "NvmeOfInitiator",
+        base_lba: int = 0,
+        region_blocks: int = 1 << 16,
+        memtable_limit: int = 64,
+        nsid: int = 1,
+    ) -> None:
+        if memtable_limit < 1:
+            raise WorkloadError("memtable_limit must be >= 1")
+        if region_blocks < memtable_limit:
+            raise WorkloadError("region smaller than one memtable flush")
+        self.env = env
+        self.initiator = initiator
+        self.base_lba = base_lba
+        self.region_blocks = region_blocks
+        self.memtable_limit = memtable_limit
+        self.nsid = nsid
+        self.memtable: Dict[str, int] = {}  # key -> value size
+        self.segments: List[Segment] = []  # oldest first
+        self.stats = KvStats()
+        self._next_lba = base_lba
+        self._next_segment_id = 0
+
+    # -- space management ---------------------------------------------------------
+    def _allocate(self, nblocks: int) -> int:
+        if self._next_lba + nblocks > self.base_lba + self.region_blocks:
+            # Log-structured stores reclaim space via compaction; reset the
+            # allocation cursor after compaction has dropped old segments.
+            live = sum(s.nblocks for s in self.segments)
+            if live + nblocks > self.region_blocks:
+                raise WorkloadError("KV region exhausted; compact or grow it")
+            self._next_lba = self.base_lba + live
+        lba = self._next_lba
+        self._next_lba += nblocks
+        return lba
+
+    @staticmethod
+    def _blocks_for(size: int) -> int:
+        return max(1, (size + BLOCK_4K - 1) // BLOCK_4K)
+
+    # -- operations ------------------------------------------------------------------
+    def put(self, key: str, value_size: int = 128) -> Generator:
+        """Insert/overwrite a key (memtable write; may trigger a flush)."""
+        if not key:
+            raise WorkloadError("empty key")
+        if value_size < 1:
+            raise WorkloadError("value size must be positive")
+        self.stats.puts += 1
+        self.memtable[key] = value_size
+        if len(self.memtable) >= self.memtable_limit:
+            yield from self.flush()
+        return None
+        yield  # pragma: no cover - makes this a generator even without flush
+
+    def get(self, key: str) -> Generator:
+        """Look up a key; returns the value size or None.
+
+        Memtable hits are free; each segment probe costs one
+        latency-sensitive block read, newest segment first.
+        """
+        self.stats.gets += 1
+        if key in self.memtable:
+            self.stats.hits_memtable += 1
+            return self.memtable[key]
+        for segment in reversed(self.segments):
+            located = segment.locate(key)
+            if located is None:
+                continue
+            lba, size = located
+            self.stats.segment_probes += 1
+            request = self.initiator.submit(
+                OP_READ, slba=lba, nlb=self._blocks_for(size),
+                nsid=self.nsid, priority=Priority.LATENCY,
+            )
+            yield request.completion_event(self.env)
+            self.stats.hits_segment += 1
+            return size
+        self.stats.misses += 1
+        return None
+
+    def flush(self) -> Generator:
+        """Write the memtable out as a new segment (throughput-critical)."""
+        if not self.memtable:
+            return None
+        entries = sorted(self.memtable.items())
+        index: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for key, size in entries:
+            index[key] = (offset, size)
+            offset += self._blocks_for(size)
+        base = self._allocate(offset)
+        yield from self._write_blocks(base, offset)
+        self.segments.append(
+            Segment(segment_id=self._next_segment_id, base_lba=base, index=index)
+        )
+        self._next_segment_id += 1
+        self.memtable = {}
+        self.stats.flushes += 1
+        return None
+
+    def compact(self) -> Generator:
+        """Merge every segment into one (bulk TC reads + writes)."""
+        if len(self.segments) <= 1:
+            return None
+        merged: Dict[str, int] = {}
+        total_blocks = 0
+        for segment in self.segments:  # oldest first: newer wins
+            for key, (_off, size) in segment.index.items():
+                merged[key] = size
+            total_blocks += segment.nblocks
+        # Read everything back (sequentially, throughput-critical)...
+        for segment in self.segments:
+            yield from self._read_blocks(segment.base_lba, segment.nblocks)
+        # ...and write the merged run.
+        entries = sorted(merged.items())
+        index: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for key, size in entries:
+            index[key] = (offset, size)
+            offset += self._blocks_for(size)
+        self.segments = []
+        self._next_lba = self.base_lba  # old runs are dead; reuse the region
+        base = self._allocate(offset)
+        yield from self._write_blocks(base, offset)
+        self.segments = [
+            Segment(segment_id=self._next_segment_id, base_lba=base, index=index)
+        ]
+        self._next_segment_id += 1
+        self.stats.compactions += 1
+        return None
+
+    # -- bulk I/O helpers ---------------------------------------------------------------
+    def _write_blocks(self, base: int, nblocks: int, queue_depth: int = 32) -> Generator:
+        yield from self._bulk(OP_WRITE, base, nblocks, queue_depth)
+
+    def _read_blocks(self, base: int, nblocks: int, queue_depth: int = 32) -> Generator:
+        yield from self._bulk(OP_READ, base, nblocks, queue_depth)
+
+    def _bulk(self, op: str, base: int, nblocks: int, queue_depth: int) -> Generator:
+        inflight = []
+        for i in range(nblocks):
+            while not self.initiator.qpair.has_capacity or len(inflight) >= queue_depth:
+                yield inflight.pop(0)
+            request = self.initiator.submit(
+                op, slba=base + i, nlb=1, nsid=self.nsid,
+                priority=Priority.THROUGHPUT,
+            )
+            inflight.append(request.completion_event(self.env))
+        if isinstance(self.initiator, OpfInitiator):
+            self.initiator.drain()
+        for event in inflight:
+            yield event
+
+    # -- introspection -------------------------------------------------------------------
+    @property
+    def read_amplification(self) -> float:
+        """Worst-case segment probes per GET (memtable excluded)."""
+        return float(len(self.segments))
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.memtable or any(key in s.index for s in self.segments)

@@ -1,0 +1,155 @@
+"""Scale-out experiment builders (paper §V-D).
+
+Two patterns over a pool of initiator-node/target-node pairs (each
+initiator-node talks to its own target-node, as in the paper's 10-node
+setup):
+
+* **Pattern 1** — fix the node count, grow the number of initiators per
+  initiator-node (1..5).  Each node hosts one latency-sensitive initiator
+  and the rest throughput-critical (the composition §V-E states explicitly
+  and §V-D's latency curves imply).
+* **Pattern 2** — fix four throughput-critical initiators per node (LS:TC
+  = 0:4), grow the number of node pairs (1..5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.flags import Priority
+from ..errors import ConfigError
+from ..workloads.mixes import LS_QUEUE_DEPTH, TC_QUEUE_DEPTH, TenantSpec
+from .scenario import Scenario, ScenarioConfig
+
+
+def tenants_for_node(
+    node_index: int,
+    initiators_per_node: int,
+    op_mix: str,
+    include_ls: bool = True,
+) -> List[TenantSpec]:
+    """Tenant composition for one initiator-node under pattern 1/2."""
+    if initiators_per_node < 1:
+        raise ConfigError("need at least one initiator per node")
+    tenants: List[TenantSpec] = []
+    start = 0
+    if include_ls and initiators_per_node >= 2:
+        tenants.append(
+            TenantSpec(
+                name=f"n{node_index}.ls0",
+                priority=Priority.LATENCY,
+                queue_depth=LS_QUEUE_DEPTH,
+                op_mix=op_mix,
+            )
+        )
+        start = 1
+    for i in range(start, initiators_per_node):
+        tenants.append(
+            TenantSpec(
+                name=f"n{node_index}.tc{i}",
+                priority=Priority.THROUGHPUT,
+                queue_depth=TC_QUEUE_DEPTH,
+                op_mix=op_mix,
+            )
+        )
+    return tenants
+
+
+def build_scaleout(
+    config: ScenarioConfig,
+    n_node_pairs: int,
+    initiators_per_node: int,
+    include_ls: bool = True,
+) -> Scenario:
+    """N initiator-nodes, N target-nodes, pairwise wiring."""
+    if n_node_pairs < 1:
+        raise ConfigError("need at least one node pair")
+    scenario = Scenario(config)
+    for pair in range(n_node_pairs):
+        tnode = scenario.add_target_node(name=f"target{pair}")
+        inode = scenario.add_initiator_node(name=f"client{pair}")
+        for spec in tenants_for_node(pair, initiators_per_node, config.op_mix, include_ls):
+            scenario.add_tenant(spec, inode, tnode)
+    return scenario
+
+
+@dataclass
+class ScalePoint:
+    """One x-axis point of a Figure 8 curve."""
+
+    total_initiators: int
+    protocol: str
+    throughput_mbps: float
+    mean_latency_us: float
+    tc_iops: float
+
+
+def pattern1(
+    protocol: str,
+    op_mix: str,
+    n_node_pairs: int = 5,
+    initiators_per_node_range: Optional[List[int]] = None,
+    total_ops: int = 600,
+    network_gbps: float = 100.0,
+    seed: int = 1,
+    window_size: int = 32,
+) -> List[ScalePoint]:
+    """Scaling pattern 1: initiators per node grows, node count fixed."""
+    points = []
+    for per_node in initiators_per_node_range or [1, 2, 3, 4, 5]:
+        cfg = ScenarioConfig(
+            protocol=protocol,
+            network_gbps=network_gbps,
+            op_mix=op_mix,
+            total_ops=total_ops,
+            window_size=window_size,
+            seed=seed,
+        )
+        scenario = build_scaleout(cfg, n_node_pairs, per_node, include_ls=True)
+        result = scenario.run()
+        points.append(
+            ScalePoint(
+                total_initiators=n_node_pairs * per_node,
+                protocol=protocol,
+                throughput_mbps=result.tc_throughput_mbps,
+                mean_latency_us=result.mean_latency_us or 0.0,
+                tc_iops=result.tc_iops,
+            )
+        )
+    return points
+
+
+def pattern2(
+    protocol: str,
+    op_mix: str,
+    node_pairs_range: Optional[List[int]] = None,
+    initiators_per_node: int = 4,
+    total_ops: int = 600,
+    network_gbps: float = 100.0,
+    seed: int = 1,
+    window_size: int = 32,
+) -> List[ScalePoint]:
+    """Scaling pattern 2: node count grows, 0:4 LS:TC per node."""
+    points = []
+    for pairs in node_pairs_range or [1, 2, 3, 4, 5]:
+        cfg = ScenarioConfig(
+            protocol=protocol,
+            network_gbps=network_gbps,
+            op_mix=op_mix,
+            total_ops=total_ops,
+            window_size=window_size,
+            seed=seed,
+        )
+        scenario = build_scaleout(cfg, pairs, initiators_per_node, include_ls=False)
+        result = scenario.run()
+        points.append(
+            ScalePoint(
+                total_initiators=pairs * initiators_per_node,
+                protocol=protocol,
+                throughput_mbps=result.tc_throughput_mbps,
+                mean_latency_us=result.mean_latency_us or 0.0,
+                tc_iops=result.tc_iops,
+            )
+        )
+    return points

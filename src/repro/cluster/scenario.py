@@ -1,0 +1,353 @@
+"""Declarative experiment scenarios.
+
+A :class:`Scenario` assembles a fabric, target nodes, initiator nodes, and
+perf workloads from a :class:`ScenarioConfig`, runs the simulation, and
+returns a :class:`ScenarioResult` with the figures' metrics: aggregate
+throughput-critical throughput, latency-sensitive p99.99 tail latency,
+completion-notification counts, and congestion counters.
+
+Measurement protocol: throughput-critical tenants run a fixed op quota;
+latency-sensitive tenants run open-ended and are stopped when the last TC
+tenant finishes (an LS-only scenario instead runs the LS quota).  Metrics
+exclude a configurable warmup interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config import network_tuning, preset_for_network
+from ..core.flags import Priority
+from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
+from ..errors import ConfigError
+from ..metrics.collector import Collector
+from ..metrics.percentile import LatencyDistribution
+from ..net.topology import Fabric
+from ..nvmeof.discovery import DiscoveryService
+from ..simcore.engine import Environment
+from ..simcore.rng import RandomStreams
+from ..ssd.ftl import FtlConfig
+from ..units import BLOCK_4K
+from ..workloads.mixes import TenantSpec
+from ..workloads.perf import PerfConfig, PerfGenerator
+from .node import InitiatorNode, PROTOCOL_OPF, PROTOCOL_SPDK, PROTOCOLS, TargetNode
+
+_HUGE_OPS = 10**9  # effectively unbounded quota for open-ended LS tenants
+
+
+@dataclass
+class ScenarioConfig:
+    """Knobs shared by every figure's scenarios."""
+
+    protocol: str = PROTOCOL_SPDK
+    network_gbps: float = 100.0
+    transport: str = "tcp"  # "tcp" (the paper's fabric) | "rdma" (lossless)
+    op_mix: str = "read"  # "read" | "write" | "rw50"
+    pattern: str = "seq"  # "seq" (the paper's perf runs) | "rand"
+    io_size: int = BLOCK_4K
+    window_size: "int | str" = 32
+    total_ops: int = 600  # per throughput-critical tenant
+    ls_total_ops: Optional[int] = None  # only for LS-only scenarios
+    warmup_us: float = 1_000.0
+    seed: int = 1
+    conn_switch_cost: float = 0.5
+    costs: CpuCostModel = DEFAULT_COSTS
+    ftl_config: Optional[FtlConfig] = None
+    validate_pdus: bool = False
+    namespace_blocks: int = 1 << 20
+    target_cls: Optional[type] = None  # override (ablations)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigError(f"unknown protocol {self.protocol!r}")
+        if self.transport not in ("tcp", "rdma"):
+            raise ConfigError(f"unknown transport {self.transport!r}")
+        if self.total_ops < 1:
+            raise ConfigError("total_ops must be >= 1")
+        if self.warmup_us < 0:
+            raise ConfigError("warmup must be non-negative")
+
+    def effective_costs(self) -> CpuCostModel:
+        """The cost model adjusted for the transport binding.
+
+        RDMA datapaths bypass the host TCP stack: per-PDU send/receive
+        processing shrinks while command/completion construction costs are
+        unchanged (they are NVMe work, not network work).
+        """
+        if self.transport != "rdma":
+            return self.costs
+        from ..net.rdma import RDMA_COST_SCALE
+
+        return self.costs.with_overrides(
+            pdu_rx=self.costs.pdu_rx * RDMA_COST_SCALE,
+            pdu_tx=self.costs.pdu_tx * RDMA_COST_SCALE,
+        )
+
+
+@dataclass
+class ScenarioResult:
+    """Everything the figure harnesses read off one run."""
+
+    protocol: str
+    network_gbps: float
+    op_mix: str
+    elapsed_us: float
+    tc_throughput_mbps: float
+    tc_iops: float
+    ls_tail_us: Optional[float]
+    ls_mean_us: Optional[float]
+    mean_latency_us: Optional[float]
+    total_throughput_mbps: float
+    completion_notifications: int
+    coalesced_notifications: int
+    data_pdus_sent: int
+    commands_received: int
+    fabric_drops: int
+    tcp_retransmits: int
+    tenant_switches: int
+    target_cpu_utilization: float
+    per_tenant: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def summary_row(self) -> List[object]:
+        return [
+            self.protocol,
+            f"{self.network_gbps:g}G",
+            self.op_mix,
+            self.tc_throughput_mbps,
+            self.ls_tail_us if self.ls_tail_us is not None else float("nan"),
+        ]
+
+
+class Scenario:
+    """Builder + runner for one simulated experiment."""
+
+    def __init__(self, config: ScenarioConfig) -> None:
+        self.config = config
+        tuning = network_tuning(config.network_gbps)
+        preset = preset_for_network(config.network_gbps)
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        # RDMA fabrics are lossless (PFC); deep queues approximate the
+        # no-drop guarantee the RDMA socket relies on.
+        queue_packets = (
+            max(tuning.queue_packets, 8192)
+            if config.transport == "rdma"
+            else tuning.queue_packets
+        )
+        self.fabric = Fabric(
+            self.env,
+            rate_gbps=config.network_gbps,
+            propagation_us=tuning.propagation_us,
+            queue_packets=queue_packets,
+            switch_delay_us=tuning.switch_delay_us,
+        )
+        self.tcp_config = tuning.tcp
+        self.ssd_profile = preset.ssd
+        self.discovery = DiscoveryService()
+        self.collector = Collector(self.env)
+        self.target_nodes: List[TargetNode] = []
+        self.initiator_nodes: Dict[str, InitiatorNode] = {}
+        self.generators: List[PerfGenerator] = []
+        self._tenant_assignments: List[Tuple[TenantSpec, InitiatorNode, TargetNode, int]] = []
+        self._ran = False
+
+    # -- construction ----------------------------------------------------------------
+    def add_target_node(self, name: Optional[str] = None, n_ssds: int = 1) -> TargetNode:
+        cfg = self.config
+        node = TargetNode(
+            self.env,
+            name or f"target{len(self.target_nodes)}",
+            self.fabric,
+            self.streams,
+            protocol=cfg.protocol,
+            n_ssds=n_ssds,
+            ssd_profile=self.ssd_profile,
+            ftl_config=cfg.ftl_config,
+            costs=cfg.effective_costs(),
+            conn_switch_cost=cfg.conn_switch_cost,
+            discovery=self.discovery,
+            target_cls=cfg.target_cls,
+        )
+        self.target_nodes.append(node)
+        return node
+
+    def add_initiator_node(self, name: Optional[str] = None) -> InitiatorNode:
+        node = InitiatorNode(self.env, name or f"client{len(self.initiator_nodes)}", self.fabric)
+        self.initiator_nodes[node.name] = node
+        return node
+
+    def add_tenant(
+        self,
+        spec: TenantSpec,
+        initiator_node: InitiatorNode,
+        target_node: TargetNode,
+        nsid: int = 1,
+    ) -> None:
+        """Declare one tenant; instantiated (with workload) at run()."""
+        self._tenant_assignments.append((spec, initiator_node, target_node, nsid))
+
+    # -- convenience builders ---------------------------------------------------------
+    @classmethod
+    def two_sided(
+        cls,
+        config: ScenarioConfig,
+        tenants: List[TenantSpec],
+        n_target_nodes: int = 1,
+        one_node_per_tenant: bool = True,
+    ) -> "Scenario":
+        """The Figure 6/7 shape: one target node, each tenant on its own
+        initiator node (or all on one node when ``one_node_per_tenant`` is
+        False); tenants round-robin over target nodes."""
+        scenario = cls(config)
+        targets = [scenario.add_target_node() for _ in range(n_target_nodes)]
+        if not one_node_per_tenant:
+            shared = scenario.add_initiator_node()
+        for i, spec in enumerate(tenants):
+            node = scenario.add_initiator_node() if one_node_per_tenant else shared
+            scenario.add_tenant(spec, node, targets[i % n_target_nodes])
+        return scenario
+
+    # -- execution -----------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        if self._ran:
+            raise ConfigError("a Scenario can only run once; build a fresh one")
+        self._ran = True
+        if not self._tenant_assignments:
+            raise ConfigError("no tenants declared")
+        cfg = self.config
+        env = self.env
+
+        # Instantiate initiators + workloads.
+        connect_events = []
+        tc_generators: List[PerfGenerator] = []
+        ls_generators: List[PerfGenerator] = []
+        for spec, inode, tnode, nsid in self._tenant_assignments:
+            initiator = inode.add_initiator(
+                spec.name,
+                tnode,
+                protocol=cfg.protocol,
+                queue_depth=spec.queue_depth,
+                costs=cfg.effective_costs(),
+                collector=self.collector,
+                window_size=cfg.window_size,
+                workload_hint="mixed" if spec.op_mix == "rw50" else spec.op_mix,
+                validate_pdus=cfg.validate_pdus,
+                transport=cfg.transport,
+            )
+            connect_events.append(initiator.connect())
+            is_ls = spec.priority is Priority.LATENCY
+            total = (
+                cfg.ls_total_ops
+                if (is_ls and cfg.ls_total_ops is not None)
+                else (_HUGE_OPS if is_ls else cfg.total_ops)
+            )
+            perf_cfg = PerfConfig(
+                op_mix=spec.op_mix,
+                io_size=cfg.io_size,
+                queue_depth=spec.queue_depth,
+                total_ops=total,
+                pattern=cfg.pattern,
+                priority=spec.priority,
+                nsid=nsid,
+            )
+            gen = PerfGenerator(
+                env,
+                initiator,
+                perf_cfg,
+                rng=self.streams.stream(f"workload/{spec.name}"),
+                namespace_blocks=cfg.namespace_blocks,
+            )
+            (ls_generators if is_ls else tc_generators).append(gen)
+            self.generators.append(gen)
+
+        # Handshakes first, then workloads, then the measurement window.
+        env.run(until=env.all_of(connect_events))
+        workload_start = env.now
+        for gen in self.generators:
+            gen.start()
+
+        marker_armed = [True]
+
+        def warmup_marker(env):
+            yield env.timeout(cfg.warmup_us)
+            if marker_armed[0]:
+                self.collector.start_measuring()
+
+        env.process(warmup_marker(env))
+
+        if tc_generators:
+            env.run(until=env.all_of([g.done for g in tc_generators]))
+        else:  # LS-only scenario: the LS quota bounds the run
+            env.run(until=env.all_of([g.done for g in ls_generators]))
+        # Disarm the marker: if the whole run fit inside the warmup it must
+        # not clobber the window during the quiesce phase below.
+        marker_armed[0] = False
+        self.collector.stop_measuring()
+        # Guard against degenerate measurement windows.  Coalesced
+        # completions land in window-sized bursts, so a window that covers
+        # only a sliver of the run (warmup ~ run length) would measure one
+        # burst and report a nonsense rate.  Fall back to the full workload
+        # interval when the warmup consumed most of the run.
+        workload_duration = env.now - workload_start
+        if self.collector.elapsed_us() < 0.3 * workload_duration:
+            self.collector.set_window(workload_start, env.now)
+        self.collector.ensure_window(fallback_start=workload_start)
+
+        # Quiesce: stop open-ended tenants and let in-flight work land.
+        if tc_generators:
+            for gen in ls_generators:
+                gen.stop()
+        env.run()
+        return self._build_result()
+
+    # -- result assembly -------------------------------------------------------------------
+    def _build_result(self) -> ScenarioResult:
+        cfg = self.config
+        collector = self.collector
+        elapsed = collector.elapsed_us()
+
+        ls_pool = collector.combined_latency(Priority.LATENCY)
+        all_pool = collector.combined_latency(None)
+        per_tenant: Dict[str, Tuple[float, float]] = {}
+        for name, summary in collector.summaries().items():
+            mean = summary.latency.mean() if len(summary.latency) else float("nan")
+            per_tenant[name] = (summary.throughput_mbps(elapsed), mean)
+
+        completion_notifications = sum(t.target.stats.completion_notifications for t in self.target_nodes)
+        coalesced = sum(t.target.stats.coalesced_notifications for t in self.target_nodes)
+        data_pdus = sum(t.target.stats.data_pdus_sent for t in self.target_nodes)
+        commands = sum(t.target.stats.commands_received for t in self.target_nodes)
+        switches = sum(t.target.stats.tenant_switches for t in self.target_nodes)
+        retransmits = 0
+        for inode in self.initiator_nodes.values():
+            for initiator in inode.initiators:
+                retransmits += initiator.transport.socket.stats.retransmits
+        for tnode in self.target_nodes:
+            for conn in tnode.target.connections:
+                retransmits += conn.transport.socket.stats.retransmits
+        util = (
+            max(t.core.utilization() for t in self.target_nodes) if self.target_nodes else 0.0
+        )
+
+        return ScenarioResult(
+            protocol=cfg.protocol,
+            network_gbps=cfg.network_gbps,
+            op_mix=cfg.op_mix,
+            elapsed_us=elapsed,
+            tc_throughput_mbps=collector.aggregate_throughput_mbps(Priority.THROUGHPUT),
+            tc_iops=collector.aggregate_iops(Priority.THROUGHPUT),
+            ls_tail_us=ls_pool.tail() if len(ls_pool) else None,
+            ls_mean_us=ls_pool.mean() if len(ls_pool) else None,
+            mean_latency_us=all_pool.mean() if len(all_pool) else None,
+            total_throughput_mbps=collector.aggregate_throughput_mbps(None),
+            completion_notifications=completion_notifications,
+            coalesced_notifications=coalesced,
+            data_pdus_sent=data_pdus,
+            commands_received=commands,
+            fabric_drops=self.fabric.total_drops(),
+            tcp_retransmits=retransmits,
+            tenant_switches=switches,
+            target_cpu_utilization=util,
+            per_tenant=per_tenant,
+        )

@@ -1,0 +1,74 @@
+"""Parameter sweeps over scenarios.
+
+A small grid runner used by the figure harnesses and the examples: builds
+one fresh scenario per grid point (scenarios are single-use) and collects
+results keyed by the swept parameters.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import replace
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..workloads.mixes import TenantSpec, tenants_for_ratio
+from .scenario import Scenario, ScenarioConfig, ScenarioResult
+
+#: A sweep point: parameter dict + the result it produced.
+SweepPoint = Tuple[Dict[str, Any], ScenarioResult]
+
+
+def sweep(
+    base: ScenarioConfig,
+    grid: Dict[str, Iterable[Any]],
+    build: Optional[Callable[[ScenarioConfig, Dict[str, Any]], Scenario]] = None,
+    ratio: str = "1:1",
+) -> List[SweepPoint]:
+    """Run every combination of ``grid`` values over ``base``.
+
+    Grid keys that match :class:`ScenarioConfig` fields are applied with
+    ``dataclasses.replace``; unknown keys are passed to ``build`` for
+    custom wiring.  The default builder is the two-sided Figure 6/7 shape
+    with tenants from ``ratio`` (override per-point with a ``ratio`` key).
+    """
+    if not grid:
+        raise ConfigError("empty sweep grid")
+    keys = list(grid)
+    points: List[SweepPoint] = []
+    for combo in itertools.product(*(list(grid[k]) for k in keys)):
+        params = dict(zip(keys, combo))
+        cfg_fields = {k: v for k, v in params.items() if hasattr(base, k)}
+        extra = {k: v for k, v in params.items() if not hasattr(base, k)}
+        cfg = replace(base, **cfg_fields)
+        if build is not None:
+            scenario = build(cfg, extra)
+        else:
+            point_ratio = extra.get("ratio", ratio)
+            tenants = tenants_for_ratio(point_ratio, op_mix=cfg.op_mix)
+            scenario = Scenario.two_sided(cfg, tenants)
+        points.append((params, scenario.run()))
+    return points
+
+
+def compare_protocols(
+    base: ScenarioConfig,
+    grid: Dict[str, Iterable[Any]],
+    ratio: str = "1:1",
+) -> List[Tuple[Dict[str, Any], ScenarioResult, ScenarioResult]]:
+    """Sweep with both protocols at each point: (params, spdk, opf)."""
+    merged: Dict[Tuple, Dict[str, ScenarioResult]] = {}
+    order: List[Tuple] = []
+    full_grid = dict(grid)
+    full_grid["protocol"] = ["spdk", "nvme-opf"]
+    for params, result in sweep(base, full_grid, ratio=ratio):
+        key = tuple((k, v) for k, v in sorted(params.items()) if k != "protocol")
+        if key not in merged:
+            merged[key] = {}
+            order.append(key)
+        merged[key][params["protocol"]] = result
+    out = []
+    for key in order:
+        pair = merged[key]
+        out.append((dict(key), pair["spdk"], pair["nvme-opf"]))
+    return out

@@ -1,0 +1,71 @@
+"""NVMe-oPF: priority schemes for NVMe-over-Fabrics (the paper's core).
+
+Public pieces:
+
+* :class:`~repro.core.flags.Priority` and the reserved-bit flag codec;
+* :class:`~repro.core.initiator.OpfInitiator` /
+  :class:`~repro.core.target.OpfTarget` — the priority-aware runtimes;
+* :class:`~repro.core.priority_manager.InitiatorPriorityManager` /
+  :class:`~repro.core.priority_manager.TargetPriorityManager` — Alg. 1-4;
+* :class:`~repro.core.cid_queue.CidQueue` — zero-copy CID-only queues;
+* :func:`~repro.core.window.select_window` and
+  :class:`~repro.core.window.DynamicWindowController` — window tuning;
+* :class:`~repro.core.ablation.SharedQueueOpfTarget` — the shared-queue
+  design the paper rejects, kept for ablations.
+"""
+
+from .ablation import SharedQueueOpfTarget
+from .cid_queue import CidQueue, ENTRY_BYTES
+from .extensions import DevicePriorityOpfTarget
+from .coalescing import CoalescingStats, DrainGroup
+from .flags import (
+    FLAG_DRAINING,
+    FLAG_THROUGHPUT_CRITICAL,
+    MAX_TENANTS,
+    Priority,
+    check_tenant_id,
+    pack_flags,
+    unpack_flags,
+)
+from .initiator import OpfInitiator
+from .priority_manager import InitiatorPriorityManager, TargetPriorityManager
+from .target import OpfTarget
+from .tenant import TenantContext, TenantRegistry
+from .window import (
+    DEFAULT_WINDOW,
+    DynamicWindowController,
+    MAX_WINDOW,
+    MIN_WINDOW,
+    WindowSample,
+    clamp_to_queue_depth,
+    select_window,
+)
+
+__all__ = [
+    "CidQueue",
+    "CoalescingStats",
+    "DEFAULT_WINDOW",
+    "DevicePriorityOpfTarget",
+    "DrainGroup",
+    "DynamicWindowController",
+    "ENTRY_BYTES",
+    "FLAG_DRAINING",
+    "FLAG_THROUGHPUT_CRITICAL",
+    "InitiatorPriorityManager",
+    "MAX_TENANTS",
+    "MAX_WINDOW",
+    "MIN_WINDOW",
+    "OpfInitiator",
+    "OpfTarget",
+    "Priority",
+    "SharedQueueOpfTarget",
+    "TargetPriorityManager",
+    "TenantContext",
+    "TenantRegistry",
+    "WindowSample",
+    "check_tenant_id",
+    "clamp_to_queue_depth",
+    "pack_flags",
+    "select_window",
+    "unpack_flags",
+]

@@ -1,0 +1,136 @@
+"""Design ablations for NVMe-oPF (paper §IV-A).
+
+:class:`SharedQueueOpfTarget` replaces the per-tenant (lock-free) queues
+with **one shared, bounded** throughput-critical queue, reproducing both
+failure modes the paper cites as the reason for per-tenant isolation:
+
+* **Premature drains** — a draining flag from tenant A flushes tenant B's
+  half-built window; B's flushed requests must then be answered with
+  individual responses, destroying their coalescing.
+* **Live-lock** — when the sum of tenant window sizes exceeds the shared
+  queue depth, the queue can fill before any draining flag is admitted;
+  every queued request waits for a drain that can never arrive.
+
+It also charges a ``lock_cost`` on every shared-queue operation, modelling
+the serialisation a shared structure needs.  The lock-free ablation bench
+compares this target against :class:`~repro.core.target.OpfTarget`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from ..nvmeof.pdu import CapsuleCmdPdu
+from ..nvmeof.target import TargetConnection
+from .coalescing import DrainGroup
+from .flags import Priority
+from .target import OpfTarget
+
+
+class SharedQueueOpfTarget(OpfTarget):
+    """oPF target with a single shared TC queue (broken-by-design ablation)."""
+
+    runtime_name = "nvme-opf-sharedq"
+
+    def __init__(
+        self,
+        *args: Any,
+        tc_queue_depth: int = 128,
+        lock_cost: float = 0.3,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self.tc_queue_depth = tc_queue_depth
+        self.lock_cost = lock_cost
+        #: The one shared queue: (conn, pdu, tenant_id) in arrival order.
+        self._shared: Deque[Tuple[TargetConnection, CapsuleCmdPdu, int]] = deque()
+        #: Arrivals rejected by a full queue; they wait indefinitely.
+        self._overflow: Deque[Tuple[TargetConnection, CapsuleCmdPdu, int]] = deque()
+        self.premature_flushes = 0
+        self.individual_tc_responses = 0
+
+    # -- Alg. 3 replacement: one queue for everyone ---------------------------------
+    def _handle_command(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:
+        priority, _draining, tenant_id = self.pm.classify(pdu.sqe)
+        if priority is Priority.LATENCY:
+            super()._handle_command(conn, pdu)
+            return
+        cost = self.costs.pdu_rx + self.costs.retire + self.lock_cost
+        done = self.core.execute(cost, label="tc_rx_shared")
+        done.callbacks.append(lambda _ev: self._enqueue_shared(conn, pdu, tenant_id))
+
+    def _enqueue_shared(self, conn: TargetConnection, pdu: CapsuleCmdPdu, tenant_id: int) -> None:
+        if len(self._shared) >= self.tc_queue_depth:
+            # Full shared queue: the request can neither queue nor execute.
+            # If the drains needed to free space are themselves stuck here,
+            # this is the live-lock of §IV-A.
+            self._overflow.append((conn, pdu, tenant_id))
+            return
+        self._shared.append((conn, pdu, tenant_id))
+        _prio, draining, _tid = self.pm.classify(pdu.sqe)
+        if draining:
+            self._flush_shared(conn, tenant_id)
+
+    def _flush_shared(self, drain_conn: TargetConnection, drain_tenant: int) -> None:
+        """A drain from *any* tenant flushes *everyone's* queued requests."""
+        batch = list(self._shared)
+        self._shared.clear()
+
+        mine: List[Tuple[TargetConnection, CapsuleCmdPdu]] = []
+        others: List[Tuple[TargetConnection, CapsuleCmdPdu, int]] = []
+        drain_cid: Optional[int] = None
+        for conn, pdu, tenant_id in batch:
+            if tenant_id == drain_tenant:
+                mine.append((conn, pdu))
+                _p, draining, _t = self.pm.classify(pdu.sqe)
+                if draining:
+                    drain_cid = pdu.sqe.cid
+            else:
+                others.append((conn, pdu, tenant_id))
+        if others:
+            self.premature_flushes += 1
+
+        # The draining tenant still gets a coalesced window.
+        assert drain_cid is not None
+        group = DrainGroup(
+            tenant_id=drain_tenant,
+            drain_cid=drain_cid,
+            cids=[p.sqe.cid for _c, p in mine],
+            formed_at=self.env.now,
+        )
+        self.pm.stats.record_flush(group.size)
+        self._group_fifo.setdefault(drain_tenant, []).append(group)
+        n_device = sum(1 for _c, p in mine if not self._is_drain_marker(p))
+        cost = (
+            self.costs.nvme_submit * n_device
+            + self.lock_cost * len(batch)
+            + self._tenant_switch_cost(drain_tenant)
+        )
+        done = self.core.execute(cost, label="tc_flush_shared")
+        done.callbacks.append(lambda _ev: self._execute_batch(group, mine))
+
+        # Other tenants' windows were flushed early: each of their requests
+        # executes now but must be answered individually (group=None), so
+        # their coalescing benefit is destroyed.
+        for conn, pdu, tenant_id in others:
+            self.individual_tc_responses += 1
+            cost = self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
+            done = self.core.execute(cost, label="tc_premature")
+            done.callbacks.append(
+                lambda _ev, c=conn, p=pdu, t=tenant_id: self._submit_to_device(c, p, t)
+            )
+
+        # Space freed: admit overflow arrivals in order.
+        while self._overflow and len(self._shared) < self.tc_queue_depth:
+            conn, pdu, tenant_id = self._overflow.popleft()
+            self._enqueue_shared(conn, pdu, tenant_id)
+
+    @property
+    def stalled_requests(self) -> int:
+        """Requests stuck in overflow (live-lock indicator)."""
+        return len(self._overflow)
+
+    @property
+    def shared_queue_depth_now(self) -> int:
+        return len(self._shared)

@@ -1,0 +1,110 @@
+"""Zero-copy CID queues (paper §IV-B, §IV-C).
+
+NVMe-oPF never copies or stores request bodies in its priority queues; each
+entry is a 16-bit command identifier.  Space complexity is therefore
+independent of I/O size and the queue survives out-of-order device
+completions: a drain response naming CID *d* retires, in submission order,
+every CID queued before *d* (Alg. 2's walk), regardless of the order the
+device completed them in.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Set
+
+from ..errors import ProtocolError, QueueFullError
+
+#: Bytes one queue entry occupies (a u16 CID) — used by the space-accounting
+#: tests that verify the zero-copy claim.
+ENTRY_BYTES = 2
+
+
+class CidQueue:
+    """FIFO ring of command identifiers with drain-through semantics."""
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ProtocolError("capacity must be >= 1")
+        self.capacity = capacity
+        self._queue: Deque[int] = deque()
+        self._members: Set[int] = set()
+        self.total_pushed = 0
+        self.total_drained = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, cid: int) -> bool:
+        return cid in self._members
+
+    @property
+    def is_full(self) -> bool:
+        return self.capacity is not None and len(self._queue) >= self.capacity
+
+    @property
+    def space_bytes(self) -> int:
+        """Memory footprint of the queued entries (zero-copy accounting)."""
+        return len(self._queue) * ENTRY_BYTES
+
+    def push(self, cid: int) -> None:
+        """Append a CID (Alg. 1: ``queue[tail] <- req.cid``)."""
+        if not (0 <= cid <= 0xFFFF):
+            raise ProtocolError(f"CID out of 16-bit range: {cid}")
+        if cid in self._members:
+            raise ProtocolError(f"CID {cid} already queued")
+        if self.is_full:
+            raise QueueFullError(f"CID queue full (capacity {self.capacity})")
+        self._queue.append(cid)
+        self._members.add(cid)
+        self.total_pushed += 1
+
+    def peek(self) -> int:
+        if not self._queue:
+            raise ProtocolError("CID queue is empty")
+        return self._queue[0]
+
+    def drain_through(self, cid: int) -> List[int]:
+        """Pop every CID up to and including ``cid``, in queue order.
+
+        This is Alg. 2: the initiator walks its pending queue marking each
+        request complete until it reaches the drain response's CID.  Raises
+        if ``cid`` was never queued (a protocol violation).
+        """
+        if cid not in self._members:
+            raise ProtocolError(f"drain for unknown CID {cid}")
+        drained: List[int] = []
+        while self._queue:
+            head = self._queue.popleft()
+            self._members.discard(head)
+            drained.append(head)
+            if head == cid:
+                break
+        self.total_drained += len(drained)
+        return drained
+
+    def remove(self, cid: int) -> None:
+        """Remove one CID out of order (premature individual completion).
+
+        Only a broken (shared-queue) target produces these; the well-formed
+        protocol never removes mid-queue.
+        """
+        if cid not in self._members:
+            raise ProtocolError(f"cannot remove unknown CID {cid}")
+        self._queue.remove(cid)
+        self._members.discard(cid)
+        self.total_drained += 1
+
+    def drain_all(self) -> List[int]:
+        """Pop everything (target-side full flush)."""
+        drained = list(self._queue)
+        self._queue.clear()
+        self._members.clear()
+        self.total_drained += len(drained)
+        return drained
+
+    def as_list(self) -> List[int]:
+        return list(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<CidQueue len={len(self._queue)} cap={self.capacity}>"

@@ -1,0 +1,77 @@
+"""NVMe-oPF request flags and tenant identifiers (paper §III-C, §IV-A).
+
+Three flags ride in **two reserved bits** of the command capsule's SQE
+(byte 8, bits 0-1), and the tenant id in **eight reserved bits** (byte 9),
+exactly as the paper describes — capsule size is unchanged, so a baseline
+target that never reads the reserved bytes remains wire-compatible.
+
+Bit assignment (byte 8):
+
+* bit 0 — ``THROUGHPUT_CRITICAL``: queue at the target, coalesce completion.
+  Clear means ``LATENCY_SENSITIVE``: bypass queues, respond immediately.
+* bit 1 — ``DRAINING``: execute every queued throughput-critical request of
+  this tenant and answer all of them with one completion notification.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from ..errors import ProtocolError, TenantError
+
+#: Byte-8 flag bits.
+FLAG_THROUGHPUT_CRITICAL = 0b01
+FLAG_DRAINING = 0b10
+
+_FLAG_MASK = FLAG_THROUGHPUT_CRITICAL | FLAG_DRAINING
+
+#: Tenant ids occupy one reserved byte: at most 256 tenants per target.
+MAX_TENANTS = 256
+
+
+class Priority(enum.Enum):
+    """Application-declared optimisation goal for an I/O request."""
+
+    LATENCY = "latency"
+    THROUGHPUT = "throughput"
+
+    @classmethod
+    def parse(cls, value: "str | Priority") -> "Priority":
+        """Accept either the enum or its string name/value."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value.lower())
+        except (ValueError, AttributeError):
+            raise ProtocolError(f"unknown priority {value!r}") from None
+
+
+def pack_flags(priority: Priority, draining: bool = False) -> int:
+    """Encode priority + draining into the reserved flag byte."""
+    flags = 0
+    if priority is Priority.THROUGHPUT:
+        flags |= FLAG_THROUGHPUT_CRITICAL
+    if draining:
+        if priority is not Priority.THROUGHPUT:
+            raise ProtocolError("the draining flag only applies to throughput-critical requests")
+        flags |= FLAG_DRAINING
+    return flags
+
+
+def unpack_flags(byte: int) -> Tuple[Priority, bool]:
+    """Decode the reserved flag byte into (priority, draining)."""
+    if byte & ~_FLAG_MASK:
+        raise ProtocolError(f"unknown bits set in priority byte: {byte:#04x}")
+    priority = Priority.THROUGHPUT if byte & FLAG_THROUGHPUT_CRITICAL else Priority.LATENCY
+    draining = bool(byte & FLAG_DRAINING)
+    if draining and priority is not Priority.THROUGHPUT:
+        raise ProtocolError("draining flag set on a latency-sensitive request")
+    return priority, draining
+
+
+def check_tenant_id(tenant_id: int) -> int:
+    """Validate a tenant id fits the eight reserved bits."""
+    if not (0 <= tenant_id < MAX_TENANTS):
+        raise TenantError(f"tenant id {tenant_id} outside [0, {MAX_TENANTS})")
+    return tenant_id

@@ -1,0 +1,170 @@
+"""NVMe-oPF initiator runtime.
+
+Extends the baseline initiator with the initiator-side Priority Manager:
+requests are stamped with priority/tenant flags (Alg. 1), every
+``window_size``-th throughput-critical request carries the draining flag,
+and a coalesced response retires the whole window in submission order
+(Alg. 2).  An idle-drain timer flushes partial windows when the workload
+pauses, and an optional :class:`~repro.core.window.DynamicWindowController`
+re-tunes the window from drain round-trip feedback (§IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..errors import ProtocolError
+from ..net.tcp import _RestartableTimer
+from ..nvmeof.capsule import Sqe
+from ..nvmeof.initiator import NvmeOfInitiator
+from ..nvmeof.pdu import CapsuleRespPdu
+from ..nvmeof.qpair import IoRequest
+from ..ssd.latency import OP_FLUSH
+from .flags import Priority
+from .priority_manager import InitiatorPriorityManager
+from .window import DynamicWindowController, WindowSample, clamp_to_queue_depth, select_window
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class OpfInitiator(NvmeOfInitiator):
+    """Priority-aware initiator (the paper's contribution, host side)."""
+
+    runtime_name = "nvme-opf"
+
+    def __init__(
+        self,
+        *args: Any,
+        window_size: "int | str" = 32,
+        workload_hint: str = "read",
+        network_gbps: float = 100.0,
+        tc_initiators_hint: int = 1,
+        auto_drain_idle_us: Optional[float] = 50.0,
+        dynamic_window: bool = False,
+        allow_lock: bool = False,
+        **kwargs: Any,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        if window_size == "auto":
+            window = select_window(
+                workload_hint,
+                network_gbps,
+                tc_initiators=tc_initiators_hint,
+                queue_depth=self.qpair.queue_depth,
+            )
+        else:
+            window = int(window_size)
+        if not allow_lock:
+            # A window above half the queue depth risks exhausting the qpair
+            # before a draining flag is sent (§IV-A); clamp like the window
+            # optimizer does.  allow_lock=True keeps the raw value so the
+            # live-lock hazard can be demonstrated deliberately.
+            window = clamp_to_queue_depth(window, self.qpair.queue_depth)
+        self.pm = InitiatorPriorityManager(
+            window_size=window,
+            queue_depth=self.qpair.queue_depth,
+            allow_lock=allow_lock,
+        )
+        self._window_controller = (
+            DynamicWindowController(initial=window, queue_depth=self.qpair.queue_depth)
+            if dynamic_window
+            else None
+        )
+        self._last_drain_at = self.env.now
+        self._idle_timer = (
+            _RestartableTimer(self.env, self._on_idle, f"{self.name}/idle-drain")
+            if auto_drain_idle_us is not None
+            else None
+        )
+        self._idle_us = auto_drain_idle_us
+
+    # -- properties --------------------------------------------------------------
+    @property
+    def window_size(self) -> int:
+        return self.pm.window_size
+
+    @property
+    def pending_undrained(self) -> int:
+        return self.pm.pending_undrained
+
+    # -- Alg. 1: before send ---------------------------------------------------------
+    def _fill_reserved(self, sqe: Sqe, request: IoRequest) -> None:
+        request.draining = self.pm.before_send(sqe, request.priority, self.tenant_id)
+        if self._idle_timer is not None:
+            self._idle_timer.restart(self._idle_us)
+
+    # -- explicit / idle drain ----------------------------------------------------------
+    def drain(self) -> Optional[IoRequest]:
+        """Flush a partial window with an explicit drain marker.
+
+        The marker is a flush command carrying THROUGHPUT+DRAINING flags;
+        the oPF target consumes it in the Priority Manager (it never reaches
+        the device) and answers it together with the queued window.
+        Returns the marker request, or None when there is nothing to drain.
+        """
+        if self.pm.pending_undrained == 0:
+            return None
+        if not self.qpair.has_capacity:
+            # The qpair is saturated; completions for queued requests can
+            # only arrive via the drain they themselves will carry (or a
+            # retry of this call once the idle timer finds capacity).
+            return None
+        request = self.qpair.allocate(
+            op=OP_FLUSH,
+            nsid=1,
+            slba=0,
+            nlb=1,
+            block_size=self.block_size,
+            priority=Priority.THROUGHPUT,
+            tenant_id=self.tenant_id,
+            context="drain-marker",
+        )
+        request.submitted_at = self.env.now
+        request.draining = True
+        self.stats.submitted += 1
+        sqe = Sqe.for_io(OP_FLUSH, cid=request.cid)
+        self.pm.force_drain_flags(sqe, self.tenant_id)
+        from ..nvmeof.pdu import CapsuleCmdPdu
+
+        pdu = CapsuleCmdPdu(sqe=sqe, data_len=0)
+        done = self.core.execute(self.costs.pdu_tx, label="drain_tx")
+        done.callbacks.append(lambda _ev: self.transport.send(pdu))
+        return request
+
+    def _on_idle(self) -> None:
+        if self.pm.pending_undrained > 0:
+            if self.drain() is None and self._idle_timer is not None:
+                # Could not send a marker (qpair momentarily full): retry.
+                # If the qpair is full of un-drained requests at a broken
+                # target this re-arming never succeeds — that is the §IV-A
+                # live-lock, which must not be silently papered over.
+                self._idle_timer.restart(self._idle_us)
+
+    # -- Alg. 2: on response ------------------------------------------------------------
+    def _handle_response(self, resp: CapsuleRespPdu) -> None:
+        cqe = resp.cqe
+        if not resp.coalesced:
+            # Latency-sensitive responses complete individually, exactly as
+            # in the baseline; a stray individual response for a queued TC
+            # CID is a protocol violation the PM detects.
+            self.pm.on_individual_response(cqe.cid)
+            self._retire(cqe.cid, cqe.status)
+            return
+
+        retired = self.pm.on_coalesced_response(cqe.cid)
+        self.stats.coalesced_responses += 1
+        self.stats.requests_retired_by_coalescing += len(retired)
+        # Alg. 2's queue walk costs a small scan per retired entry.
+        self.core.charge(
+            self.costs.coalesced_completion_scan * len(retired), label="coalesce_scan"
+        )
+        for cid in retired:
+            self._retire(cid, cqe.status)
+
+        if self._window_controller is not None:
+            elapsed = self.env.now - self._last_drain_at
+            self.pm.window_size = self._window_controller.observe(
+                WindowSample(window=self.pm.window_size, requests=len(retired), elapsed_us=elapsed)
+            )
+        self._last_drain_at = self.env.now

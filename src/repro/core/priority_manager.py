@@ -1,0 +1,158 @@
+"""Priority Managers — one per NVMe-oPF runtime (paper §III, Fig. 5).
+
+The initiator-side manager implements Algorithms 1 and 2 (flagging, window
+counting, drain-response queue walks); the target-side manager implements
+Algorithms 3 and 4 (per-tenant queuing, latency-sensitive bypass, drain
+execution, coalesced completion).  Keeping them free of any transport or
+CPU-model dependency makes the paper's pseudocode directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..errors import ConfigError, ProtocolError
+from .cid_queue import CidQueue
+from .coalescing import CoalescingStats, DrainGroup
+from .flags import Priority, pack_flags, unpack_flags
+from .tenant import TenantContext, TenantRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nvmeof.capsule import Sqe
+    from ..nvmeof.pdu import CapsuleCmdPdu
+    from ..nvmeof.target import TargetConnection
+
+
+class InitiatorPriorityManager:
+    """Initiator-side PM: Alg. 1 (before send) and Alg. 2 (on response)."""
+
+    def __init__(self, window_size: int, queue_depth: int, allow_lock: bool = False) -> None:
+        if window_size < 1:
+            raise ConfigError("window size must be >= 1")
+        if window_size > queue_depth and not allow_lock:
+            # §IV-A: a window larger than the queue depth means the qpair
+            # exhausts before a draining flag is ever sent -> live-lock.
+            raise ConfigError(
+                f"window {window_size} > queue depth {queue_depth} would "
+                f"live-lock the initiator (pass allow_lock=True to demonstrate)"
+            )
+        self.window_size = window_size
+        self.queue_depth = queue_depth
+        self.cid_queue = CidQueue()
+        self._since_drain = 0
+        self.drains_sent = 0
+        self.coalesced_retired = 0
+        #: Individual responses received for *queued* TC CIDs — only a
+        #: broken (shared-queue) target produces these (§IV-A).
+        self.premature_responses = 0
+
+    @property
+    def pending_undrained(self) -> int:
+        """TC requests sent since the last draining flag."""
+        return self._since_drain
+
+    def before_send(self, sqe: "Sqe", priority: Priority, tenant_id: int) -> bool:
+        """Alg. 1: stamp flags/tenant into the SQE; returns drain decision."""
+        draining = False
+        if priority is Priority.THROUGHPUT:
+            self.cid_queue.push(sqe.cid)
+            self._since_drain += 1
+            if self._since_drain >= self.window_size:
+                draining = True
+                self._since_drain = 0
+                self.drains_sent += 1
+        sqe.rsvd_priority = pack_flags(priority, draining)
+        sqe.rsvd_tenant = tenant_id
+        return draining
+
+    def force_drain_flags(self, sqe: "Sqe", tenant_id: int) -> None:
+        """Stamp an explicit drain marker (flush command carrying DRAINING)."""
+        self.cid_queue.push(sqe.cid)
+        sqe.rsvd_priority = pack_flags(Priority.THROUGHPUT, draining=True)
+        sqe.rsvd_tenant = tenant_id
+        self._since_drain = 0
+        self.drains_sent += 1
+
+    def on_coalesced_response(self, drain_cid: int) -> List[int]:
+        """Alg. 2: retire, in order, every queued CID through ``drain_cid``."""
+        retired = self.cid_queue.drain_through(drain_cid)
+        self.coalesced_retired += len(retired)
+        return retired
+
+    def on_individual_response(self, cid: int) -> bool:
+        """Handle a non-coalesced response.
+
+        LS responses never enter the CID queue, so normally this is a no-op
+        returning False.  An individual response for a *queued* TC CID means
+        the target flushed the window prematurely (the shared-queue hazard
+        of §IV-A): the CID is removed out of order and counted, and True is
+        returned so callers can track the anomaly.
+        """
+        if cid in self.cid_queue:
+            self.cid_queue.remove(cid)
+            self.premature_responses += 1
+            # Note: the since-drain submission counter is deliberately NOT
+            # adjusted — the initiator must keep emitting draining flags on
+            # schedule or a broken target would starve it of drains entirely.
+            return True
+        return False
+
+
+class TargetPriorityManager:
+    """Target-side PM: Alg. 3 (ready to execute) and Alg. 4 (completion)."""
+
+    def __init__(self, registry: Optional[TenantRegistry] = None) -> None:
+        self.registry = registry or TenantRegistry()
+        self.stats = CoalescingStats()
+        self.ls_bypassed = 0
+
+    @staticmethod
+    def classify(sqe: "Sqe") -> Tuple[Priority, bool, int]:
+        """Decode (priority, draining, tenant id) from the reserved bytes."""
+        priority, draining = unpack_flags(sqe.rsvd_priority)
+        return priority, draining, sqe.rsvd_tenant
+
+    def on_command(
+        self, conn: "TargetConnection", pdu: "CapsuleCmdPdu"
+    ) -> Tuple[Priority, Optional[DrainGroup], List[Tuple["TargetConnection", "CapsuleCmdPdu"]]]:
+        """Alg. 3 for one arriving command.
+
+        Returns ``(priority, group, to_execute)``:
+
+        * latency-sensitive -> ``(LATENCY, None, [this command])`` — bypass.
+        * TC without drain -> ``(THROUGHPUT, None, [])`` — queued, nothing runs.
+        * TC with drain    -> ``(THROUGHPUT, group, whole window)`` — flush.
+        """
+        priority, draining, tenant_id = self.classify(pdu.sqe)
+        if priority is Priority.LATENCY:
+            self.ls_bypassed += 1
+            return priority, None, [(conn, pdu)]
+
+        tenant = self.registry.get_or_create(tenant_id)
+        tenant.enqueue(conn, pdu)
+        if not draining:
+            return priority, None, []
+
+        batch = tenant.flush()
+        now = 0.0
+        group = DrainGroup(
+            tenant_id=tenant_id,
+            drain_cid=pdu.sqe.cid,
+            cids=[p.sqe.cid for _c, p in batch],
+            formed_at=now,
+        )
+        self.stats.record_flush(group.size)
+        tenant.stats.record_flush(group.size)
+        return priority, group, batch
+
+    @staticmethod
+    def on_completion(group: Optional[DrainGroup], cid: int, status: int) -> bool:
+        """Alg. 4 for one device completion.
+
+        Returns True when a response capsule must be sent now: always for
+        latency-sensitive requests (``group is None``), and for
+        throughput-critical requests only once their whole group is done.
+        """
+        if group is None:
+            return True
+        return group.mark_complete(cid, status)

@@ -1,0 +1,167 @@
+"""NVMe-oPF target runtime.
+
+Extends the baseline target with the target-side Priority Manager:
+
+* latency-sensitive requests bypass every queue and execute immediately;
+* throughput-critical requests park in their tenant's private (lock-free)
+  CID queue until a draining flag arrives, then execute as one batch —
+  paying the tenant-switch cost once per *window* instead of once per
+  request;
+* each completed window is answered with a single coalesced response
+  capsule, sent only after every member has completed on the device, so
+  out-of-order device completions can never acknowledge unfinished work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional, Tuple
+
+from ..nvmeof.capsule import Cqe
+from ..nvmeof.pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu
+from ..nvmeof.target import NvmeOfTarget, RequestContext, TargetConnection
+from ..ssd.latency import OP_FLUSH, OP_READ
+from .coalescing import DrainGroup
+from .flags import Priority
+from .priority_manager import TargetPriorityManager
+from .tenant import TenantRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class OpfTarget(NvmeOfTarget):
+    """Priority-aware target (the paper's contribution, storage side)."""
+
+    runtime_name = "nvme-opf"
+
+    def __init__(self, *args: Any, registry: Optional[TenantRegistry] = None, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.pm = TargetPriorityManager(registry=registry)
+        # Per-tenant FIFO of in-flight drain groups: responses are emitted
+        # in window-formation order (§IV-C — "completion times for each
+        # request will follow in the order they were queued"), so Alg. 2's
+        # queue walk on the initiator is always correct even when a later
+        # window finishes earlier on the device's parallel channels.
+        self._group_fifo: dict = {}
+
+    # -- tenant identity comes from the SQE's reserved byte -------------------------
+    def _resolve_tenant(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> int:
+        return pdu.sqe.rsvd_tenant
+
+    # -- Alg. 3: command arrival -----------------------------------------------------
+    def _handle_command(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:
+        priority, _draining, tenant_id = self.pm.classify(pdu.sqe)
+        if priority is Priority.LATENCY:
+            # Bypass: identical cost and path to the baseline.
+            self.pm.ls_bypassed += 1
+            cost = (
+                self.costs.pdu_rx + self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
+            )
+            done = self.core.execute(cost, label="ls_rx")
+            done.callbacks.append(lambda _ev: self._submit_to_device(conn, pdu, tenant_id))
+            return
+
+        # Throughput-critical: receive + queue-push only; execution waits
+        # for the window's draining flag.
+        cost = self.costs.pdu_rx + self.costs.retire
+        done = self.core.execute(cost, label="tc_rx")
+        done.callbacks.append(lambda _ev: self._enqueue_tc(conn, pdu))
+
+    def _enqueue_tc(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:
+        _priority, group, batch = self.pm.on_command(conn, pdu)
+        if group is None:
+            return  # queued; nothing executes yet
+        group.formed_at = self.env.now
+        self._group_fifo.setdefault(group.tenant_id, []).append(group)
+        # Batch execution: one tenant switch for the whole window, one
+        # device doorbell per member.
+        n_device = sum(1 for _c, p in batch if not self._is_drain_marker(p))
+        cost = self.costs.nvme_submit * n_device + self._tenant_switch_cost(group.tenant_id)
+        done = self.core.execute(cost, label="tc_flush")
+        done.callbacks.append(lambda _ev: self._execute_batch(group, batch))
+
+    @staticmethod
+    def _is_drain_marker(pdu: CapsuleCmdPdu) -> bool:
+        """An explicit drain (flush + DRAINING) is consumed by the PM."""
+        from .flags import FLAG_DRAINING
+
+        return pdu.sqe.op_name == OP_FLUSH and bool(pdu.sqe.rsvd_priority & FLAG_DRAINING)
+
+    def _execute_batch(
+        self,
+        group: DrainGroup,
+        batch: List[Tuple[TargetConnection, CapsuleCmdPdu]],
+    ) -> None:
+        markers: List[Tuple[TargetConnection, CapsuleCmdPdu]] = []
+        for conn, pdu in batch:
+            if self._is_drain_marker(pdu):
+                markers.append((conn, pdu))
+                continue
+            self._submit_to_device(
+                conn, pdu, group.tenant_id, draining=False, group=group
+            )
+        # Drain markers complete instantly in the PM (they never touch the
+        # device); doing this *after* real submissions keeps group.pending
+        # consistent even for a marker-only group.
+        for conn, pdu in markers:
+            self.stats.requests_completed += 1
+            if group.mark_complete(pdu.sqe.cid, 0):
+                self._finish_group(conn, group)
+
+    # -- Alg. 4: device completion -----------------------------------------------------
+    def _complete_request(self, ctx: RequestContext, status: int) -> None:
+        group: Optional[DrainGroup] = ctx.group
+        if group is None:
+            # Latency-sensitive: the baseline's immediate-response path.
+            super()._complete_request(ctx, status)
+            return
+
+        cost = self.costs.nvme_complete + self.costs.retire
+        if ctx.op == OP_READ:
+            cost += self.costs.pdu_tx  # read data still flows per request
+        done = self.core.execute(cost, label="tc_complete")
+        done.callbacks.append(lambda _ev: self._tc_completed(ctx, status))
+
+    def _tc_completed(self, ctx: RequestContext, status: int) -> None:
+        self.stats.requests_completed += 1
+        if ctx.op == OP_READ:
+            self.stats.data_pdus_sent += 1
+            ctx.conn.send(C2HDataPdu(cid=ctx.cid, data_len=ctx.nbytes))
+        if self.pm.on_completion(ctx.group, ctx.cid, status):
+            self._finish_group(ctx.conn, ctx.group)
+
+    def _finish_group(self, conn: TargetConnection, group: DrainGroup) -> None:
+        """Mark the window done and emit responses in formation order."""
+        group.ready = True
+        group.conn = conn
+        fifo = self._group_fifo.get(group.tenant_id, [])
+        while fifo and fifo[0].ready:
+            head = fifo.pop(0)
+            done = self.core.execute(self.costs.cqe_build + self.costs.pdu_tx, label="tc_resp")
+            done.callbacks.append(lambda _ev, g=head: self._send_coalesced(g.conn, g))
+
+    def tenant_report(self) -> dict:
+        """Per-tenant coalescing statistics (tenant id -> stats snapshot)."""
+        report = {}
+        for tenant in self.pm.registry.tenants():
+            stats = tenant.stats
+            report[tenant.tenant_id] = {
+                "windows_flushed": stats.windows_flushed,
+                "requests_coalesced": stats.requests_coalesced,
+                "notifications_sent": stats.notifications_sent,
+                "notifications_saved": stats.notifications_saved,
+                "mean_window": stats.mean_window,
+                "queued_now": tenant.queued,
+            }
+        return report
+
+    def _send_coalesced(self, conn: TargetConnection, group: DrainGroup) -> None:
+        self.stats.completion_notifications += 1
+        self.stats.coalesced_notifications += 1
+        conn.send(
+            CapsuleRespPdu(
+                cqe=Cqe(cid=group.drain_cid, status=group.worst_status),
+                coalesced=True,
+                coalesced_count=group.size,
+            )
+        )

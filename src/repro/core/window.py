@@ -1,0 +1,135 @@
+"""Window-size selection (paper §IV-D).
+
+The coalescing window cannot be static: the best value depends on workload
+type, network speed, and tenant concurrency.  ``select_window`` encodes the
+paper's empirical guidance (peak at 32 on 25/100 Gbps; smaller windows on a
+saturated 10 Gbps link, where large windows delay drain completions; never
+more than half the queue depth, or the initiator risks exhausting its qpair
+before a drain is ever sent).
+
+:class:`DynamicWindowController` implements the runtime adjustment the
+paper sketches: after each drain completion the initiator may grow or
+shrink the window based on observed drain round-trip throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ConfigError
+
+#: Paper-reported sweet spot on fast fabrics (Fig. 6a).
+DEFAULT_WINDOW = 32
+
+#: Windows are powers of two within this range.
+MIN_WINDOW = 1
+MAX_WINDOW = 64
+
+READ = "read"
+WRITE = "write"
+MIXED = "mixed"
+_WORKLOADS = (READ, WRITE, MIXED)
+
+
+def clamp_to_queue_depth(window: int, queue_depth: int) -> int:
+    """Never let the window exceed half the queue depth.
+
+    With ``window > queue_depth`` the initiator would exhaust its qpair
+    before sending a draining flag and lock up (§IV-A); half keeps at least
+    two windows pipelined.
+    """
+    return max(MIN_WINDOW, min(window, max(1, queue_depth // 2)))
+
+
+def select_window(
+    workload: str,
+    network_gbps: float,
+    tc_initiators: int = 1,
+    queue_depth: int = 128,
+) -> int:
+    """Choose a coalescing window for the given operating point."""
+    if workload not in _WORKLOADS:
+        raise ConfigError(f"workload must be one of {_WORKLOADS}, got {workload!r}")
+    if network_gbps <= 0:
+        raise ConfigError("network speed must be positive")
+    if tc_initiators < 1:
+        raise ConfigError("need at least one throughput-critical initiator")
+    if queue_depth < 1:
+        raise ConfigError("queue depth must be positive")
+
+    if network_gbps <= 10:
+        # Saturated fabric: large windows delay drain completions behind
+        # data traffic (Fig. 6b's 10 Gbps curve flattens then dips at 64).
+        base = 16
+    elif network_gbps <= 25:
+        base = 32
+    else:
+        base = 32
+
+    if workload == MIXED and tc_initiators <= 2:
+        # Mixed read/write windows have high completion-time variance with
+        # few tenants (Fig. 7b discussion); smaller windows bound it.
+        base = min(base, 16)
+
+    return clamp_to_queue_depth(base, queue_depth)
+
+
+@dataclass
+class WindowSample:
+    """Observation from one drain round trip."""
+
+    window: int
+    requests: int
+    elapsed_us: float
+
+    @property
+    def rate(self) -> float:
+        """Requests per microsecond over the drain interval."""
+        return self.requests / self.elapsed_us if self.elapsed_us > 0 else 0.0
+
+
+class DynamicWindowController:
+    """Hill-climbing window tuner driven by drain-completion feedback.
+
+    After each drain completes, the controller compares throughput with the
+    previous interval; improvement keeps the current direction (doubling or
+    halving within [min, max]), regression reverses it.  The target flushes
+    all pending requests on every draining flag, so the initiator can change
+    its window unilaterally between drains (§IV-D).
+    """
+
+    def __init__(
+        self,
+        initial: int = DEFAULT_WINDOW,
+        min_window: int = MIN_WINDOW,
+        max_window: int = MAX_WINDOW,
+        queue_depth: int = 128,
+    ) -> None:
+        if not (MIN_WINDOW <= min_window <= max_window <= 4096):
+            raise ConfigError("invalid window bounds")
+        self.min_window = min_window
+        self.max_window = clamp_to_queue_depth(max_window, queue_depth)
+        self.window = max(min_window, min(initial, self.max_window))
+        self._direction = +1  # +1 grow, -1 shrink
+        self._last_rate: Optional[float] = None
+        self.adjustments = 0
+
+    def observe(self, sample: WindowSample) -> int:
+        """Feed one drain observation; returns the window to use next."""
+        rate = sample.rate
+        if self._last_rate is not None:
+            if rate < self._last_rate * 0.98:
+                self._direction = -self._direction
+            self._step()
+        self._last_rate = rate
+        return self.window
+
+    def _step(self) -> None:
+        if self._direction > 0:
+            new = min(self.max_window, self.window * 2)
+        else:
+            new = max(self.min_window, self.window // 2)
+        if new != self.window:
+            self.window = new
+            self.adjustments += 1

@@ -1,0 +1,7 @@
+"""Host CPU models: single-core FIFO execution and SPDK-style reactors."""
+
+from .core import CpuCore
+from .costs import DEFAULT_COSTS, CpuCostModel
+from .poller import PollerStats, Reactor
+
+__all__ = ["CpuCore", "CpuCostModel", "DEFAULT_COSTS", "PollerStats", "Reactor"]

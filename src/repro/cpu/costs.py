@@ -1,0 +1,110 @@
+"""CPU cost constants for protocol processing.
+
+The paper's throughput argument is a cost argument: every NVMe-oF request
+completion costs the target (and initiator) CPU time to build, send, and
+process a completion notification, and coalescing amortises that cost over a
+window of requests.  This module gives those costs a first-class, documented
+home so experiments can sweep/ablate them.
+
+All values are microseconds of single-core time per operation, calibrated in
+:mod:`repro.experiments.calibration` against the paper's observed ratios —
+they are not claimed to be exact SPDK numbers, only to sit in the right
+regime (sub-microsecond-to-microsecond userspace processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CpuCostModel:
+    """Per-operation CPU costs (microseconds) for one host.
+
+    Attributes
+    ----------
+    pdu_rx:
+        Receive-path processing of one PDU: TCP stream reassembly hand-off,
+        header parse, dispatch.  Paid per arriving PDU.
+    pdu_tx:
+        Transmit-path processing of one PDU: header build, socket write.
+    cqe_build:
+        Building one NVMe completion capsule (CQE marshalling + response
+        bookkeeping).  The baseline pays ``cqe_build + pdu_tx`` per request;
+        coalescing pays it once per window.
+    retire:
+        Marking one queued throughput-critical request complete *without*
+        sending a response (NVMe-oPF target, Alg. 4 "complete request but
+        don't send response").
+    nvme_submit:
+        Submitting one command to the local NVMe SSD (SQ entry + doorbell).
+    nvme_complete:
+        Reaping one CQE from the local SSD completion queue.
+    completion_process:
+        Initiator-side processing of one arriving completion notification
+        (callback dispatch, request context release).
+    coalesced_completion_scan:
+        Initiator-side cost per *retired* request when a single drain
+        response completes a batch (Alg. 2 queue walk per element).
+    """
+
+    pdu_rx: float = 0.70
+    pdu_tx: float = 0.45
+    cqe_build: float = 1.80
+    retire: float = 0.15
+    nvme_submit: float = 0.40
+    nvme_complete: float = 0.35
+    completion_process: float = 0.50
+    coalesced_completion_scan: float = 0.10
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pdu_rx",
+            "pdu_tx",
+            "cqe_build",
+            "retire",
+            "nvme_submit",
+            "nvme_complete",
+            "completion_process",
+            "coalesced_completion_scan",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"cost {name} must be non-negative")
+
+    # -- derived aggregates ---------------------------------------------------
+    @property
+    def target_per_request_baseline(self) -> float:
+        """Target CPU per request under baseline SPDK (one response each)."""
+        return self.pdu_rx + self.nvme_submit + self.nvme_complete + self.cqe_build + self.pdu_tx
+
+    def target_per_request_coalesced(self, window: int) -> float:
+        """Target CPU per request with completions coalesced over ``window``."""
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        per_window = self.cqe_build + self.pdu_tx
+        return self.pdu_rx + self.nvme_submit + self.nvme_complete + self.retire + per_window / window
+
+    def scaled(self, factor: float) -> "CpuCostModel":
+        """A uniformly scaled copy (for faster/slower host CPUs)."""
+        if factor <= 0:
+            raise ConfigError("scale factor must be positive")
+        return CpuCostModel(
+            pdu_rx=self.pdu_rx * factor,
+            pdu_tx=self.pdu_tx * factor,
+            cqe_build=self.cqe_build * factor,
+            retire=self.retire * factor,
+            nvme_submit=self.nvme_submit * factor,
+            nvme_complete=self.nvme_complete * factor,
+            completion_process=self.completion_process * factor,
+            coalesced_completion_scan=self.coalesced_completion_scan * factor,
+        )
+
+    def with_overrides(self, **kwargs: float) -> "CpuCostModel":
+        """Copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Default cost model used by scenarios unless a hardware preset overrides it.
+DEFAULT_COSTS = CpuCostModel()

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the NVMe-oPF reproduction.
+
+Every exception raised intentionally by the library derives from
+:class:`ReproError`, so applications can catch one base class.  Subsystem
+errors are separated so tests can assert on precise failure modes
+(e.g. a full submission queue vs. a malformed PDU).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration values."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event core (``repro.simcore``)."""
+
+
+class StopSimulation(SimulationError):
+    """Internal control-flow signal used by ``Environment.run(until=...)``."""
+
+
+class ProtocolError(ReproError):
+    """NVMe-oF / NVMe-oPF protocol violations (bad PDU, unknown CID, ...)."""
+
+
+class QueueFullError(ReproError):
+    """A bounded queue (SQ/CQ, link buffer, ...) rejected an entry."""
+
+
+class QueueEmptyError(ReproError):
+    """An immediate get on an empty queue."""
+
+
+class DeviceError(ReproError):
+    """NVMe SSD device-model errors (bad LBA range, namespace, ...)."""
+
+
+class NetworkError(ReproError):
+    """Fabric errors (unknown address, link down, connection reset, ...)."""
+
+
+class TenantError(ReproError):
+    """Multi-tenancy management errors (duplicate tenant id, unknown tenant)."""
+
+
+class WorkloadError(ReproError):
+    """Workload-generator misconfiguration."""
+
+
+class Hdf5Error(ReproError):
+    """Errors from the simplified HDF5 substrate (``repro.hdf5sim``)."""

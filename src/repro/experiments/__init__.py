@@ -1,0 +1,38 @@
+"""Per-figure experiment harnesses (see DESIGN.md's experiment index)."""
+
+from .calibration import NETWORK_SPEEDS, PAPER_TARGETS, PaperTarget, WINDOW_SIZES, tuned_costs
+from .fig6 import Fig6aPoint, Fig6bPoint, Fig6cPoint, run_fig6a, run_fig6b, run_fig6c
+from .fig7 import Fig7Point, format_fig7, mean_tail_reduction, mean_throughput_gain, pair_up, run_fig7
+from .fig8 import Fig8Curve, curve_gain_at_max_scale, format_fig8, run_fig8
+from .fig9 import Fig9Point, format_fig9, run_fig9, run_h5bench_cluster
+from .table1 import run_table1, table1_rows
+
+__all__ = [
+    "Fig6aPoint",
+    "Fig6bPoint",
+    "Fig6cPoint",
+    "Fig7Point",
+    "Fig8Curve",
+    "Fig9Point",
+    "NETWORK_SPEEDS",
+    "PAPER_TARGETS",
+    "PaperTarget",
+    "WINDOW_SIZES",
+    "curve_gain_at_max_scale",
+    "format_fig7",
+    "format_fig8",
+    "format_fig9",
+    "mean_tail_reduction",
+    "mean_throughput_gain",
+    "pair_up",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig6c",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_h5bench_cluster",
+    "run_table1",
+    "table1_rows",
+    "tuned_costs",
+]

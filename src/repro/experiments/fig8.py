@@ -1,0 +1,111 @@
+"""Figure 8: scale-out studies at 100 Gbps (patterns 1 and 2).
+
+* (a, b, c): 5 initiator-node/target-node pairs, initiators per node grows
+  1..5 (up to 25 tenants on 5 SSDs) — read, mixed, write.
+* (d, e, f): 4 TC initiators per node, node pairs grow 1..5 — same mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..cluster.scaling import ScalePoint, pattern1, pattern2
+from ..metrics.report import format_table, improvement_pct
+
+
+@dataclass
+class Fig8Curve:
+    """One line of one panel: a protocol's scaling curve."""
+
+    panel: str  # "a".."f"
+    op_mix: str
+    pattern: int
+    protocol: str
+    points: List[ScalePoint]
+
+
+_PANELS = {
+    (1, "read"): "a",
+    (1, "rw50"): "b",
+    (1, "write"): "c",
+    (2, "read"): "d",
+    (2, "rw50"): "e",
+    (2, "write"): "f",
+}
+
+
+def run_fig8(
+    mixes: Sequence[str] = ("read", "rw50", "write"),
+    patterns: Sequence[int] = (1, 2),
+    n_node_pairs: int = 5,
+    per_node_range: Optional[List[int]] = None,
+    pairs_range: Optional[List[int]] = None,
+    total_ops: int = 600,
+    seed: int = 1,
+    print_table: bool = False,
+) -> List[Fig8Curve]:
+    curves: List[Fig8Curve] = []
+    for op_mix in mixes:
+        for pattern in patterns:
+            for protocol in ("spdk", "nvme-opf"):
+                if pattern == 1:
+                    points = pattern1(
+                        protocol,
+                        op_mix,
+                        n_node_pairs=n_node_pairs,
+                        initiators_per_node_range=per_node_range,
+                        total_ops=total_ops,
+                        seed=seed,
+                    )
+                else:
+                    points = pattern2(
+                        protocol,
+                        op_mix,
+                        node_pairs_range=pairs_range,
+                        total_ops=total_ops,
+                        seed=seed,
+                    )
+                curves.append(
+                    Fig8Curve(_PANELS[(pattern, op_mix)], op_mix, pattern, protocol, points)
+                )
+    if print_table:
+        print(format_fig8(curves))
+    return curves
+
+
+def format_fig8(curves: List[Fig8Curve]) -> str:
+    rows = []
+    by_key: Dict[tuple, Dict[str, Fig8Curve]] = {}
+    for curve in curves:
+        by_key.setdefault((curve.panel, curve.op_mix, curve.pattern), {})[curve.protocol] = curve
+    for (panel, op_mix, pattern), pair in sorted(by_key.items()):
+        spdk, opf = pair.get("spdk"), pair.get("nvme-opf")
+        if spdk is None or opf is None:
+            continue
+        for sp, op in zip(spdk.points, opf.points):
+            rows.append(
+                [
+                    panel,
+                    op_mix,
+                    sp.total_initiators,
+                    sp.throughput_mbps,
+                    op.throughput_mbps,
+                    improvement_pct(op.throughput_mbps, sp.throughput_mbps),
+                    sp.mean_latency_us,
+                    op.mean_latency_us,
+                ]
+            )
+    return format_table(
+        ["panel", "mix", "initiators", "SPDK MB/s", "oPF MB/s", "+%",
+         "SPDK lat us", "oPF lat us"],
+        rows,
+        title="Figure 8: scale-out, 100 Gbps",
+    )
+
+
+def curve_gain_at_max_scale(curves: List[Fig8Curve], panel: str) -> float:
+    """oPF-over-SPDK throughput gain (%) at the largest tenant count."""
+    spdk = next(c for c in curves if c.panel == panel and c.protocol == "spdk")
+    opf = next(c for c in curves if c.panel == panel and c.protocol == "nvme-opf")
+    return improvement_pct(opf.points[-1].throughput_mbps, spdk.points[-1].throughput_mbps)

@@ -1,0 +1,145 @@
+"""Command-line entry point: regenerate any table/figure of the paper.
+
+Installed as the ``nvme-opf`` console script::
+
+    nvme-opf table1
+    nvme-opf fig6a            # full-size run
+    nvme-opf fig7 --quick     # reduced grid for a fast look
+    nvme-opf all --quick
+
+``--quick`` shrinks op counts and grids (same code paths, smaller numbers);
+full runs match the sizes used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict, List
+
+from .fig6 import run_fig6a, run_fig6b, run_fig6c
+from .fig7 import run_fig7
+from .fig8 import run_fig8
+from .fig9 import run_fig9
+from .table1 import run_table1
+
+
+def _fig6a(quick: bool):
+    return run_fig6a(
+        windows=(1, 4, 16, 32, 64) if quick else (1, 2, 4, 8, 16, 32, 64),
+        total_ops=300 if quick else 1200,
+        print_table=True,
+    )
+
+
+def _fig6b(quick: bool):
+    return run_fig6b(
+        windows=(1, 4, 16, 32, 64) if quick else (1, 2, 4, 8, 16, 32, 64),
+        total_ops=300 if quick else 1200,
+        print_table=True,
+    )
+
+
+def _fig6c(quick: bool):
+    return run_fig6c(total_ops=320 if quick else 1280, print_table=True)
+
+
+def _fig7(quick: bool):
+    return run_fig7(
+        ratios=("1:1", "2:2", "1:4") if quick else None or ("1:1", "1:2", "2:2", "3:2", "1:3", "2:3", "1:4"),
+        total_ops=300 if quick else 1000,
+        print_table=True,
+    )
+
+
+def _fig8(quick: bool):
+    return run_fig8(
+        per_node_range=[1, 3, 5] if quick else [1, 2, 3, 4, 5],
+        pairs_range=[1, 3, 5] if quick else [1, 2, 3, 4, 5],
+        total_ops=300 if quick else 600,
+        print_table=True,
+    )
+
+
+def _fig9(quick: bool):
+    # Coalescing needs several windows' worth of I/O per timestep to pay
+    # off; quick mode scales the dataset-loading overhead down with the
+    # particle count so read bandwidth stays interpretable.
+    return run_fig9(
+        n_node_pairs=2 if quick else 4,
+        ranks_per_node_max=4 if quick else 10,
+        particles_per_rank=64 * 1024 if quick else 256 * 1024,
+        dataset_load_us=6_000.0 if quick else 25_000.0,
+        print_table=True,
+    )
+
+
+def _validate(quick: bool):
+    from .validate import main_validate
+
+    main_validate(total_ops=300 if quick else 600)
+    return None
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
+    "table1": lambda quick: (run_table1(), None)[1],
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "fig6c": _fig6c,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "validate": _validate,
+}
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nvme-opf",
+        description="Regenerate the NVMe-oPF paper's tables and figures (simulation).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced grids/op counts for a fast look"
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write each experiment's points as CSV under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        started = time.time()
+        print(f"== {name} ==")
+        points = EXPERIMENTS[name](args.quick)
+        if args.csv and points:
+            from ..metrics.export import write_csv
+
+            # Figure-8 curves nest their points; flatten them for export,
+            # carrying the curve's identity onto each row.
+            flat = []
+            for p in points:
+                nested = getattr(p, "points", None)
+                if nested:
+                    for sub in nested:
+                        from ..metrics.export import to_row
+
+                        row = to_row(sub)
+                        row.update(panel=p.panel, op_mix=p.op_mix, pattern=p.pattern)
+                        flat.append(row)
+                else:
+                    flat.append(p)
+            out = write_csv(f"{args.csv}/{name}.csv", flat)
+            print(f"[csv: {out}]")
+        print(f"[{name} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Table I: experiment configuration (testbed presets)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..config import CHAMELEON_CC, CLOUDLAB_CL
+from ..metrics.report import format_table
+
+
+def table1_rows() -> List[List[object]]:
+    """The rows of Table I, derived from the presets the simulator uses."""
+    rows = []
+    for field, cc, cl in [
+        ("Processor", CHAMELEON_CC.processor, CLOUDLAB_CL.processor),
+        ("Cores", CHAMELEON_CC.cores, CLOUDLAB_CL.cores),
+        ("RAM", f"{CHAMELEON_CC.ram_gb}GB", f"{CLOUDLAB_CL.ram_gb}GB"),
+        (
+            "NIC",
+            "/".join(f"{g:g}" for g in CHAMELEON_CC.nic_gbps) + " Gbps",
+            "/".join(f"{g:g}" for g in CLOUDLAB_CL.nic_gbps) + " Gbps",
+        ),
+        (
+            "SSD",
+            f"{CHAMELEON_CC.ssd.capacity_bytes / 1e12:.1f} TB NVMe-SSD",
+            f"{CLOUDLAB_CL.ssd.capacity_bytes / 1e12:.1f} TB NVMe-SSD",
+        ),
+    ]:
+        rows.append([field, cc, cl])
+    return rows
+
+
+def run_table1(print_table: bool = True) -> List[List[object]]:
+    rows = table1_rows()
+    if print_table:
+        print(format_table(["", "CC", "CL"], rows, title="Table I: Experiment configuration"))
+    return rows

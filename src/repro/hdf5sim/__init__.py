@@ -1,0 +1,17 @@
+"""Simplified HDF5 substrate: files, datasets, VOL connector, MPI ranks."""
+
+from .dataset import Dataset, Extent
+from .file import H5File, METADATA_BLOCKS
+from .mpi import Communicator, SimRank, spawn_ranks
+from .vol import VolConnector
+
+__all__ = [
+    "Communicator",
+    "Dataset",
+    "Extent",
+    "H5File",
+    "METADATA_BLOCKS",
+    "SimRank",
+    "VolConnector",
+    "spawn_ranks",
+]

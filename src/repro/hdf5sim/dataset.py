@@ -1,0 +1,91 @@
+"""Datasets: typed 1-D arrays with a contiguous block layout.
+
+h5bench's kernels write one 1-D particle array as one HDF5 dataset.  The
+model maps element ranges to byte extents to LBA ranges (contiguous layout,
+the HDF5 default for fixed-size datasets), which the VOL connector turns
+into 4 KiB fabric I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import Hdf5Error
+from ..units import BLOCK_4K
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous block run belonging to a dataset operation."""
+
+    slba: int
+    nlb: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.nlb * BLOCK_4K
+
+
+class Dataset:
+    """One named, fixed-shape, contiguous dataset."""
+
+    def __init__(
+        self,
+        name: str,
+        n_elements: int,
+        element_size: int,
+        base_lba: int,
+        block_size: int = BLOCK_4K,
+    ) -> None:
+        if not name:
+            raise Hdf5Error("dataset name must be non-empty")
+        if n_elements < 1:
+            raise Hdf5Error("dataset needs at least one element")
+        if element_size < 1:
+            raise Hdf5Error("element size must be positive")
+        if base_lba < 0:
+            raise Hdf5Error("negative base LBA")
+        self.name = name
+        self.n_elements = n_elements
+        self.element_size = element_size
+        self.base_lba = base_lba
+        self.block_size = block_size
+
+    @property
+    def nbytes(self) -> int:
+        return self.n_elements * self.element_size
+
+    @property
+    def nblocks(self) -> int:
+        return (self.nbytes + self.block_size - 1) // self.block_size
+
+    def element_range_to_extent(self, start: int, count: int) -> Extent:
+        """Blocks covering elements [start, start+count)."""
+        if start < 0 or count < 1 or start + count > self.n_elements:
+            raise Hdf5Error(
+                f"element range [{start}, {start + count}) outside dataset "
+                f"{self.name!r} ({self.n_elements} elements)"
+            )
+        byte_lo = start * self.element_size
+        byte_hi = (start + count) * self.element_size
+        blk_lo = byte_lo // self.block_size
+        blk_hi = (byte_hi + self.block_size - 1) // self.block_size
+        return Extent(slba=self.base_lba + blk_lo, nlb=blk_hi - blk_lo)
+
+    def io_plan(self, start: int, count: int, io_blocks: int = 1) -> List[Extent]:
+        """Split an element range into per-request extents of ``io_blocks``."""
+        if io_blocks < 1:
+            raise Hdf5Error("io_blocks must be >= 1")
+        extent = self.element_range_to_extent(start, count)
+        plan: List[Extent] = []
+        lba, remaining = extent.slba, extent.nlb
+        while remaining > 0:
+            step = min(io_blocks, remaining)
+            plan.append(Extent(slba=lba, nlb=step))
+            lba += step
+            remaining -= step
+        return plan
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Dataset {self.name!r} {self.n_elements}x{self.element_size}B @lba{self.base_lba}>"

@@ -1,0 +1,71 @@
+"""HDF5-like files: a superblock, metadata area, and datasets.
+
+The file model owns LBA allocation within one fabric namespace: a small
+metadata region at the front (superblock + object headers, touched by
+latency-sensitive I/O) and contiguous dataset allocations behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import Hdf5Error
+from ..units import BLOCK_4K
+from .dataset import Dataset
+
+#: Blocks reserved at the front of the file for superblock + metadata.
+METADATA_BLOCKS = 16
+
+
+class H5File:
+    """One simulated HDF5 file mapped onto a namespace LBA range."""
+
+    def __init__(self, name: str, base_lba: int, capacity_blocks: int) -> None:
+        if capacity_blocks <= METADATA_BLOCKS:
+            raise Hdf5Error("file region too small for metadata")
+        self.name = name
+        self.base_lba = base_lba
+        self.capacity_blocks = capacity_blocks
+        self._next_free = base_lba + METADATA_BLOCKS
+        self._datasets: Dict[str, Dataset] = {}
+
+    @property
+    def superblock_lba(self) -> int:
+        return self.base_lba
+
+    @property
+    def metadata_lbas(self) -> List[int]:
+        return list(range(self.base_lba, self.base_lba + METADATA_BLOCKS))
+
+    @property
+    def free_blocks(self) -> int:
+        return self.base_lba + self.capacity_blocks - self._next_free
+
+    def create_dataset(self, name: str, n_elements: int, element_size: int) -> Dataset:
+        """Allocate a contiguous dataset; raises when space runs out."""
+        if name in self._datasets:
+            raise Hdf5Error(f"dataset {name!r} already exists in {self.name!r}")
+        nbytes = n_elements * element_size
+        nblocks = (nbytes + BLOCK_4K - 1) // BLOCK_4K
+        if nblocks > self.free_blocks:
+            raise Hdf5Error(
+                f"file {self.name!r} out of space: need {nblocks} blocks, "
+                f"have {self.free_blocks}"
+            )
+        dataset = Dataset(name, n_elements, element_size, base_lba=self._next_free)
+        self._next_free += nblocks
+        self._datasets[name] = dataset
+        return dataset
+
+    def dataset(self, name: str) -> Dataset:
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise Hdf5Error(f"no dataset {name!r} in file {self.name!r}") from None
+
+    @property
+    def datasets(self) -> Dict[str, Dataset]:
+        return dict(self._datasets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<H5File {self.name!r} datasets={list(self._datasets)}>"

@@ -1,0 +1,25 @@
+"""Measurement: collectors, percentiles, time series, report tables."""
+
+from .collector import Collector, InitiatorSummary
+from .export import read_csv, rows_for, to_row, write_csv, write_json
+from .percentile import LatencyDistribution, P2Quantile, exact_percentile
+from .report import format_table, improvement_pct, reduction_pct, speedup
+from .timeseries import BinnedSeries
+
+__all__ = [
+    "BinnedSeries",
+    "Collector",
+    "InitiatorSummary",
+    "LatencyDistribution",
+    "P2Quantile",
+    "exact_percentile",
+    "format_table",
+    "improvement_pct",
+    "read_csv",
+    "reduction_pct",
+    "rows_for",
+    "speedup",
+    "to_row",
+    "write_csv",
+    "write_json",
+]

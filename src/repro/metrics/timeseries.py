@@ -1,0 +1,63 @@
+"""Binned time series of throughput/liveness signals.
+
+Used by scale-out experiments to confirm steady state and by examples to
+plot throughput over time without retaining per-request records.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+
+
+class BinnedSeries:
+    """Accumulates (time, value) observations into fixed-width bins."""
+
+    def __init__(self, bin_width_us: float) -> None:
+        if bin_width_us <= 0:
+            raise ConfigError("bin width must be positive")
+        self.bin_width = bin_width_us
+        self._sums: List[float] = []
+        self._counts: List[int] = []
+
+    def add(self, time_us: float, value: float = 1.0) -> None:
+        if time_us < 0:
+            raise ConfigError("negative timestamp")
+        idx = int(time_us // self.bin_width)
+        while len(self._sums) <= idx:
+            self._sums.append(0.0)
+            self._counts.append(0)
+        self._sums[idx] += value
+        self._counts[idx] += 1
+
+    @property
+    def nbins(self) -> int:
+        return len(self._sums)
+
+    def sums(self) -> np.ndarray:
+        return np.asarray(self._sums, dtype=float)
+
+    def counts(self) -> np.ndarray:
+        return np.asarray(self._counts, dtype=int)
+
+    def rates_per_us(self) -> np.ndarray:
+        """Per-bin sum divided by bin width (e.g. bytes/us)."""
+        return self.sums() / self.bin_width
+
+    def bins(self) -> List[Tuple[float, float]]:
+        """(bin start time, bin sum) pairs."""
+        return [(i * self.bin_width, s) for i, s in enumerate(self._sums)]
+
+    def steady_state_cv(self, skip_first: int = 1, skip_last: int = 1) -> float:
+        """Coefficient of variation over interior bins (low = steady)."""
+        interior = self.sums()
+        if skip_first:
+            interior = interior[skip_first:]
+        if skip_last:
+            interior = interior[:-skip_last] if skip_last < len(interior) else interior[:0]
+        if interior.size < 2 or interior.mean() == 0:
+            return 0.0
+        return float(interior.std() / interior.mean())

@@ -1,0 +1,32 @@
+"""Network fabric substrate: links, switch, NICs, TCP-lite, topologies."""
+
+from .addresses import DISCOVERY_PORT, NVME_TCP_PORT, Endpoint
+from .link import Link, LinkStats
+from .nic import Nic
+from .packet import DEFAULT_MSS, WIRE_OVERHEAD, Packet
+from .rdma import RDMA_COST_SCALE, RdmaConfig, RdmaSocket, RdmaStats, ROCE_OVERHEAD
+from .switch import Switch
+from .tcp import TcpConfig, TcpSocket, TcpStats
+from .topology import Fabric
+
+__all__ = [
+    "DEFAULT_MSS",
+    "DISCOVERY_PORT",
+    "Endpoint",
+    "Fabric",
+    "Link",
+    "LinkStats",
+    "Nic",
+    "NVME_TCP_PORT",
+    "Packet",
+    "RDMA_COST_SCALE",
+    "ROCE_OVERHEAD",
+    "RdmaConfig",
+    "RdmaSocket",
+    "RdmaStats",
+    "Switch",
+    "TcpConfig",
+    "TcpSocket",
+    "TcpStats",
+    "WIRE_OVERHEAD",
+]

@@ -1,0 +1,46 @@
+"""Fabric addressing.
+
+Addresses are simple ``"node:port"`` strings under the hood, wrapped in a
+tiny value type so protocol code cannot accidentally mix node names and full
+endpoints.  The discovery service (:mod:`repro.nvmeof.discovery`) maps NVMe
+Qualified Names (NQNs) onto these endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import NetworkError
+
+
+@dataclass(frozen=True, order=True)
+class Endpoint:
+    """A (node, port) fabric endpoint."""
+
+    node: str
+    port: int
+
+    def __post_init__(self) -> None:
+        if not self.node:
+            raise NetworkError("endpoint node name must be non-empty")
+        if not (0 <= self.port <= 65535):
+            raise NetworkError(f"port out of range: {self.port}")
+
+    def __str__(self) -> str:
+        return f"{self.node}:{self.port}"
+
+    @classmethod
+    def parse(cls, text: str) -> "Endpoint":
+        """Parse ``"node:port"``."""
+        try:
+            node, port = text.rsplit(":", 1)
+            return cls(node, int(port))
+        except (ValueError, TypeError):
+            raise NetworkError(f"malformed endpoint {text!r}") from None
+
+
+#: Conventional NVMe-oF TCP port (from the NVMe/TCP transport spec).
+NVME_TCP_PORT = 4420
+
+#: Port used by the discovery controller.
+DISCOVERY_PORT = 8009

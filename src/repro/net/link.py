@@ -1,0 +1,162 @@
+"""Point-to-point links with finite bandwidth and droptail queues.
+
+A :class:`Link` is unidirectional: packets are enqueued, serialised at the
+line rate, and delivered to a sink callable after the propagation delay.
+The queue is limited in *packets* (as NIC rings and shallow switch buffers
+are), which is what makes small completion-notification packets expensive
+under congestion: they occupy queue slots out of proportion to their bytes.
+This is the mechanism behind the paper's 10 Gbps multi-tenant read results.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Optional
+
+from ..errors import ConfigError
+from ..simcore.events import Event
+from ..simcore.trace import NULL_TRACER, Tracer
+from ..units import gbps_to_bytes_per_us
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+
+
+class LinkStats:
+    """Counters for one link."""
+
+    __slots__ = (
+        "enqueued",
+        "dropped",
+        "delivered",
+        "bytes_sent",
+        "data_packets",
+        "ack_packets",
+        "busy_time",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dropped = 0
+        self.delivered = 0
+        self.bytes_sent = 0
+        self.data_packets = 0
+        self.ack_packets = 0
+        self.busy_time = 0.0
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.enqueued + self.dropped
+        return self.dropped / total if total else 0.0
+
+
+class Link:
+    """Unidirectional serialising link with a droptail packet queue."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        rate_gbps: float,
+        propagation_us: float = 2.0,
+        queue_packets: int = 128,
+        name: str = "link",
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        if rate_gbps <= 0:
+            raise ConfigError("link rate must be positive")
+        if propagation_us < 0:
+            raise ConfigError("propagation delay must be non-negative")
+        if queue_packets < 1:
+            raise ConfigError("queue must hold at least one packet")
+        self.env = env
+        self.name = name
+        self.rate = gbps_to_bytes_per_us(rate_gbps)  # bytes per microsecond
+        self.rate_gbps = rate_gbps
+        self.propagation = propagation_us
+        self.queue_limit = queue_packets
+        self.sink: Optional[Callable[[Packet], None]] = None
+        self.stats = LinkStats()
+        self._queue: Deque[Packet] = deque()
+        self._busy = False
+        self.tracer = tracer or NULL_TRACER
+        #: Optional fault-injection hook: packets for which this returns
+        #: True are dropped before enqueue (counted in ``stats.dropped``).
+        self.drop_filter: Optional[Callable[[Packet], bool]] = None
+
+    def connect(self, sink: Callable[[Packet], None]) -> None:
+        """Set the delivery callback (the far end's receive handler)."""
+        self.sink = sink
+
+    @property
+    def queue_depth(self) -> int:
+        """Packets currently waiting (excludes the one in transmission)."""
+        return len(self._queue)
+
+    def send(self, packet: Packet) -> bool:
+        """Enqueue ``packet``; returns False (and drops) if the queue is full.
+
+        Matches real NIC/switch behaviour: the sender is not back-pressured,
+        it simply loses the frame and TCP recovers.
+        """
+        if self.sink is None:
+            raise ConfigError(f"link {self.name!r} has no sink connected")
+        if self.drop_filter is not None and self.drop_filter(packet):
+            self.stats.dropped += 1
+            self.tracer.emit(self.env.now, self.name, "drop-injected", packet)
+            return False
+        if len(self._queue) >= self.queue_limit:
+            self.stats.dropped += 1
+            self.tracer.emit(self.env.now, self.name, "drop", packet)
+            return False
+        self.stats.enqueued += 1
+        packet.sent_at = self.env.now
+        self._queue.append(packet)
+        if not self._busy:
+            self._busy = True
+            self._transmit_next()
+        return True
+
+    # -- internals ---------------------------------------------------------------
+    def _transmit_next(self) -> None:
+        packet = self._queue.popleft()
+        tx_time = packet.wire_size / self.rate
+        self.stats.busy_time += tx_time
+        done = Event(self.env)
+        done._ok = True
+        done._value = packet
+        done.callbacks.append(self._tx_done)
+        self.env.schedule(done, delay=tx_time)
+
+    def _tx_done(self, event: Event) -> None:
+        packet: Packet = event._value
+        self.stats.bytes_sent += packet.wire_size
+        if packet.is_data:
+            self.stats.data_packets += 1
+        else:
+            self.stats.ack_packets += 1
+
+        arrive = Event(self.env)
+        arrive._ok = True
+        arrive._value = packet
+        arrive.callbacks.append(self._deliver)
+        self.env.schedule(arrive, delay=self.propagation)
+
+        if self._queue:
+            self._transmit_next()
+        else:
+            self._busy = False
+
+    def _deliver(self, event: Event) -> None:
+        self.stats.delivered += 1
+        self.sink(event._value)  # type: ignore[misc]
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Fraction of time the transmitter was busy."""
+        t = elapsed if elapsed is not None else self.env.now
+        if t <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time / t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name!r} {self.rate_gbps}Gbps q={len(self._queue)}/{self.queue_limit}>"

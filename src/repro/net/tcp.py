@@ -1,0 +1,423 @@
+"""TCP-lite: reliable in-order message transport with Reno congestion control.
+
+NVMe-over-TCP rides on kernel TCP; its behaviour under multi-tenant load is
+dominated by congestion dynamics (droptail losses, AIMD back-off, retransmit
+stalls).  This module implements a deliberately compact TCP:
+
+* byte-stream sequence space, MSS segmentation (jumbo-frame default),
+* cumulative ACKs with delayed-ACK coalescing and immediate duplicate ACKs,
+* slow start / congestion avoidance, fast retransmit on 3 dup-ACKs,
+  RTO with exponential back-off and go-back-N recovery (Reno, no SACK),
+* message framing: senders enqueue (payload, size) messages; receivers get
+  each payload exactly once, in order, when its last byte arrives.
+
+Omissions (documented, deliberate): no three-way handshake or teardown
+(connections exist for the lifetime of a run, as qpairs do in the paper's
+steady-state measurements), no Nagle (SPDK disables it), no SACK.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
+
+from ..errors import ConfigError, NetworkError
+from ..simcore.events import Event
+from .nic import Nic
+from .packet import DEFAULT_MSS, Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+
+
+@dataclass(frozen=True)
+class TcpConfig:
+    """Tunables for one connection (defaults: tuned datacenter profile)."""
+
+    mss: int = DEFAULT_MSS
+    init_cwnd_segments: int = 10
+    rwnd_bytes: int = 4 * 1024 * 1024
+    min_rto_us: float = 1_000.0
+    max_rto_us: float = 64_000.0
+    ack_every: int = 2
+    delayed_ack_us: float = 50.0
+    dupack_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.mss < 536:
+            raise ConfigError("mss unreasonably small")
+        if self.init_cwnd_segments < 1:
+            raise ConfigError("initial cwnd must be at least one segment")
+        if self.min_rto_us <= 0 or self.max_rto_us < self.min_rto_us:
+            raise ConfigError("invalid RTO bounds")
+        if self.ack_every < 1:
+            raise ConfigError("ack_every must be >= 1")
+        if self.dupack_threshold < 1:
+            raise ConfigError("dupack_threshold must be >= 1")
+
+
+class TcpStats:
+    """Per-socket counters."""
+
+    __slots__ = (
+        "messages_sent",
+        "messages_delivered",
+        "bytes_sent",
+        "bytes_delivered",
+        "segments_sent",
+        "acks_sent",
+        "retransmits",
+        "fast_retransmits",
+        "timeouts",
+        "dup_acks_seen",
+    )
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.bytes_sent = 0
+        self.bytes_delivered = 0
+        self.segments_sent = 0
+        self.acks_sent = 0
+        self.retransmits = 0
+        self.fast_retransmits = 0
+        self.timeouts = 0
+        self.dup_acks_seen = 0
+
+
+class _RestartableTimer:
+    """A coarse restartable timer (used for RTO and delayed ACK).
+
+    ``restart(delay)`` arms (or re-arms) the timer; ``stop()`` disarms it.
+    The sleeping process re-checks the deadline on wake, so moving the
+    deadline *later* is free; moving it earlier fires slightly late, which
+    is conservative for an RTO.
+    """
+
+    def __init__(self, env: "Environment", callback: Callable[[], None], name: str) -> None:
+        self.env = env
+        self.callback = callback
+        self.name = name
+        self._deadline: Optional[float] = None
+        self._proc = None
+
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    def restart(self, delay: float) -> None:
+        self._deadline = self.env.now + delay
+        if self._proc is None or not self._proc.is_alive:
+            self._proc = self.env.process(self._run(), name=self.name)
+
+    def stop(self) -> None:
+        self._deadline = None
+
+    def _run(self):
+        while self._deadline is not None:
+            remaining = self._deadline - self.env.now
+            if remaining <= 0:
+                self._deadline = None
+                self.callback()
+                # The callback may have re-armed the timer (an RTO handler
+                # always does).  Keep looping on the new deadline — exiting
+                # here would orphan it and strand un-acked data forever.
+                continue
+            yield self.env.timeout(remaining)
+
+
+class TcpSocket:
+    """One endpoint of a full-duplex TCP-lite connection.
+
+    Create both endpoints with the same ``conn_id`` and wire each to its
+    node's :class:`~repro.net.nic.Nic`; the topology layer
+    (:func:`repro.net.topology.connect`) does this for you.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        nic: Nic,
+        remote_node: str,
+        conn_id: int,
+        config: Optional[TcpConfig] = None,
+        deliver: Optional[Callable[[Any], None]] = None,
+        name: str = "tcp",
+    ) -> None:
+        self.env = env
+        self.nic = nic
+        self.local_node = nic.node
+        self.remote_node = remote_node
+        self.conn_id = conn_id
+        self.config = config or TcpConfig()
+        self.deliver = deliver
+        self.name = name
+        self.stats = TcpStats()
+
+        cfg = self.config
+        # -- sender state
+        self._snd_una = 0
+        self._snd_nxt = 0
+        self._buffered_end = 0
+        self._msgs: Deque[Tuple[int, Any]] = deque()  # (end_offset, payload), unacked
+        self._cwnd = float(cfg.init_cwnd_segments * cfg.mss)
+        self._ssthresh = float(cfg.rwnd_bytes)
+        self._dup_acks = 0
+        self._recover = 0
+        self._in_fast_recovery = False
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto = cfg.min_rto_us
+        self._rtt_seq: Optional[int] = None
+        self._rtt_sent = 0.0
+        self._rto_timer = _RestartableTimer(env, self._on_rto, f"{name}/rto")
+
+        # -- receiver state
+        self._rcv_nxt = 0
+        self._ooo: Dict[int, Tuple[int, List[Tuple[int, Any]]]] = {}  # seq -> (len, msgs)
+        self._pending_msgs: Dict[int, Any] = {}  # end_offset -> payload
+        self._delivered_upto = 0
+        self._unacked_arrivals = 0
+        self._ack_timer = _RestartableTimer(env, self._send_ack_now, f"{name}/dack")
+
+        nic.register_connection(conn_id, self._on_packet)
+
+    # ------------------------------------------------------------------ send --
+    def send_message(self, payload: Any, size: int) -> None:
+        """Queue a ``size``-byte message for reliable in-order delivery."""
+        if size < 1:
+            raise NetworkError("message size must be at least 1 byte")
+        self.stats.messages_sent += 1
+        self.stats.bytes_sent += size
+        self._buffered_end += size
+        self._msgs.append((self._buffered_end, payload))
+        self._try_send()
+
+    @property
+    def bytes_in_flight(self) -> int:
+        return self._snd_nxt - self._snd_una
+
+    @property
+    def cwnd(self) -> float:
+        return self._cwnd
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    @property
+    def send_backlog(self) -> int:
+        """Bytes queued but not yet transmitted."""
+        return self._buffered_end - self._snd_nxt
+
+    def _try_send(self) -> None:
+        cfg = self.config
+        window = min(self._cwnd, float(cfg.rwnd_bytes))
+        while (
+            self._snd_nxt < self._buffered_end
+            and self._snd_nxt - self._snd_una + cfg.mss <= window + cfg.mss - 1
+        ):
+            # Allow a final short segment even if it slightly overshoots the
+            # window by less than one MSS (standard sender behaviour).
+            if self._snd_nxt - self._snd_una >= window:
+                break
+            size = min(cfg.mss, self._buffered_end - self._snd_nxt)
+            self._emit_segment(self._snd_nxt, size, retransmit=False)
+            self._snd_nxt += size
+        if self.bytes_in_flight > 0 and not self._rto_timer.armed:
+            self._rto_timer.restart(self._rto)
+
+    def _segment_messages(self, seq: int, size: int) -> List[Tuple[int, Any]]:
+        """Messages whose final byte falls within [seq, seq+size)."""
+        lo, hi = seq, seq + size
+        return [(end, payload) for end, payload in self._msgs if lo < end <= hi]
+
+    def _emit_segment(self, seq: int, size: int, retransmit: bool) -> None:
+        packet = Packet(
+            src=self.local_node,
+            dst=self.remote_node,
+            conn_id=self.conn_id,
+            kind="data",
+            seq=seq,
+            length=size,
+            messages=self._segment_messages(seq, size),
+            retransmit=retransmit,
+        )
+        self.stats.segments_sent += 1
+        if retransmit:
+            self.stats.retransmits += 1
+        elif self._rtt_seq is None:
+            # Karn: time exactly one non-retransmitted segment at a time.
+            self._rtt_seq = seq + size
+            self._rtt_sent = self.env.now
+        self.nic.transmit(packet)
+
+    # ------------------------------------------------------------------- rx ---
+    def _on_packet(self, packet: Packet) -> None:
+        if packet.is_ack:
+            self._on_ack(packet.ack)
+        else:
+            self._on_data(packet)
+
+    # -- sender side: ACK processing
+    def _on_ack(self, ackno: int) -> None:
+        cfg = self.config
+        if ackno > self._snd_una:
+            flight_advance = ackno - self._snd_una
+            self._snd_una = ackno
+            if ackno > self._snd_nxt:
+                # After an RTO rewind, a cumulative ACK can jump past the
+                # rewound send point (the receiver had buffered the data).
+                # Skip ahead instead of go-back-N resending buffered bytes —
+                # the recovery efficiency SACK gives real Linux TCP.
+                self._snd_nxt = ackno
+            self._dup_acks = 0
+            # Prune acked messages from the sender-side framing list.
+            while self._msgs and self._msgs[0][0] <= ackno:
+                self._msgs.popleft()
+            # RTT sample (Karn-filtered).
+            if self._rtt_seq is not None and ackno >= self._rtt_seq:
+                self._rtt_update(self.env.now - self._rtt_sent)
+                self._rtt_seq = None
+            if self._in_fast_recovery:
+                if ackno >= self._recover:
+                    self._in_fast_recovery = False
+                    self._cwnd = self._ssthresh
+                else:
+                    # Reno partial ack: retransmit next hole, deflate.
+                    self._emit_segment(
+                        self._snd_una,
+                        min(cfg.mss, self._buffered_end - self._snd_una),
+                        retransmit=True,
+                    )
+                    self._cwnd = max(float(cfg.mss), self._cwnd - flight_advance + cfg.mss)
+            elif self._cwnd < self._ssthresh:
+                self._cwnd += cfg.mss  # slow start
+            else:
+                self._cwnd += cfg.mss * cfg.mss / self._cwnd  # congestion avoidance
+            # Anything new acked: back-off resets, timer re-arms.
+            self._rto = max(cfg.min_rto_us, min(self._compute_rto(), cfg.max_rto_us))
+            if self.bytes_in_flight > 0:
+                self._rto_timer.restart(self._rto)
+            else:
+                self._rto_timer.stop()
+            self._try_send()
+        elif self.bytes_in_flight > 0:
+            self.stats.dup_acks_seen += 1
+            self._dup_acks += 1
+            if self._dup_acks == cfg.dupack_threshold and not self._in_fast_recovery:
+                # Fast retransmit + fast recovery.
+                self.stats.fast_retransmits += 1
+                flight = float(self.bytes_in_flight)
+                self._ssthresh = max(flight / 2.0, 2.0 * cfg.mss)
+                self._cwnd = self._ssthresh + cfg.dupack_threshold * cfg.mss
+                self._recover = self._snd_nxt
+                self._in_fast_recovery = True
+                self._emit_segment(
+                    self._snd_una,
+                    min(cfg.mss, self._buffered_end - self._snd_una),
+                    retransmit=True,
+                )
+                self._rto_timer.restart(self._rto)
+            elif self._in_fast_recovery:
+                self._cwnd += cfg.mss  # window inflation
+                self._try_send()
+
+    def _rtt_update(self, sample: float) -> None:
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar = 0.75 * self._rttvar + 0.25 * abs(self._srtt - sample)
+            self._srtt = 0.875 * self._srtt + 0.125 * sample
+
+    def _compute_rto(self) -> float:
+        if self._srtt is None:
+            return self.config.min_rto_us
+        return self._srtt + 4.0 * self._rttvar
+
+    def _on_rto(self) -> None:
+        if self.bytes_in_flight <= 0:
+            return
+        cfg = self.config
+        self.stats.timeouts += 1
+        self._ssthresh = max(self.bytes_in_flight / 2.0, 2.0 * cfg.mss)
+        self._cwnd = float(cfg.mss)
+        self._dup_acks = 0
+        self._in_fast_recovery = False
+        self._rtt_seq = None  # Karn: discard pending sample
+        # Go-back-N: rewind and resend from the last cumulative ACK.
+        self._snd_nxt = self._snd_una
+        self._rto = min(self._rto * 2.0, cfg.max_rto_us)
+        self._emit_segment(
+            self._snd_una,
+            min(cfg.mss, self._buffered_end - self._snd_una),
+            retransmit=True,
+        )
+        self._snd_nxt = self._snd_una + min(cfg.mss, self._buffered_end - self._snd_una)
+        self._rto_timer.restart(self._rto)
+
+    # -- receiver side: data processing
+    def _on_data(self, packet: Packet) -> None:
+        cfg = self.config
+        seq, length = packet.seq, packet.length
+        if seq == self._rcv_nxt:
+            self._rcv_nxt += length
+            self._stash_messages(packet.messages)
+            # Merge any buffered out-of-order segments now contiguous.
+            while self._rcv_nxt in self._ooo:
+                olen, omsgs = self._ooo.pop(self._rcv_nxt)
+                self._rcv_nxt += olen
+                self._stash_messages(omsgs)
+            self._deliver_ready()
+            self._unacked_arrivals += 1
+            if self._unacked_arrivals >= cfg.ack_every or self._ooo:
+                self._send_ack_now()
+            elif not self._ack_timer.armed:
+                self._ack_timer.restart(cfg.delayed_ack_us)
+        elif seq > self._rcv_nxt:
+            # Hole: buffer and emit an immediate duplicate ACK.
+            if seq not in self._ooo:
+                self._ooo[seq] = (length, packet.messages)
+            self._send_ack_now()
+        else:
+            # Duplicate of already-received data (spurious retransmit).
+            self._send_ack_now()
+
+    def _stash_messages(self, messages: List[Tuple[int, Any]]) -> None:
+        for end, payload in messages:
+            if end > self._delivered_upto and end not in self._pending_msgs:
+                self._pending_msgs[end] = payload
+
+    def _deliver_ready(self) -> None:
+        if not self._pending_msgs:
+            return
+        ready = sorted(end for end in self._pending_msgs if end <= self._rcv_nxt)
+        for end in ready:
+            payload = self._pending_msgs.pop(end)
+            self._delivered_upto = end
+            self.stats.messages_delivered += 1
+            self.stats.bytes_delivered = end
+            if self.deliver is not None:
+                self.deliver(payload)
+
+    def _send_ack_now(self) -> None:
+        self._unacked_arrivals = 0
+        self._ack_timer.stop()
+        self.stats.acks_sent += 1
+        self.nic.transmit(
+            Packet(
+                src=self.local_node,
+                dst=self.remote_node,
+                conn_id=self.conn_id,
+                kind="ack",
+                ack=self._rcv_nxt,
+            )
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<TcpSocket {self.local_node}->{self.remote_node} conn={self.conn_id} "
+            f"una={self._snd_una} nxt={self._snd_nxt} cwnd={self._cwnd:.0f}>"
+        )

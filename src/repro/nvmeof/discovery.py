@@ -1,0 +1,43 @@
+"""Static discovery service.
+
+Real NVMe-oF initiators query a discovery controller for the transport
+address of a subsystem NQN.  The scenarios here are statically wired, so
+discovery is a process-wide registry the cluster builder populates and
+initiators consult — same contract, no extra round trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import NetworkError
+from ..net.addresses import Endpoint, NVME_TCP_PORT
+
+
+class DiscoveryService:
+    """Maps subsystem NQNs to fabric endpoints."""
+
+    def __init__(self) -> None:
+        self._registry: Dict[str, Endpoint] = {}
+
+    def register(self, nqn: str, node: str, port: int = NVME_TCP_PORT) -> Endpoint:
+        if nqn in self._registry:
+            raise NetworkError(f"subsystem {nqn!r} already registered")
+        endpoint = Endpoint(node, port)
+        self._registry[nqn] = endpoint
+        return endpoint
+
+    def lookup(self, nqn: str) -> Endpoint:
+        try:
+            return self._registry[nqn]
+        except KeyError:
+            raise NetworkError(f"no such subsystem: {nqn!r}") from None
+
+    def subsystems(self) -> List[str]:
+        return sorted(self._registry)
+
+    def __len__(self) -> int:
+        return len(self._registry)
+
+    def clear(self) -> None:
+        self._registry.clear()

@@ -1,0 +1,210 @@
+"""Baseline userspace NVMe-oF initiator (SPDK-model).
+
+Polled, lock-free, zero-copy — but priority-unaware: every request receives
+its own completion notification, and the initiator processes each one
+individually.  :class:`repro.core.initiator.OpfInitiator` subclasses this
+runtime and overrides the small set of hooks marked below.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from ..core.flags import Priority, check_tenant_id
+from ..cpu.core import CpuCore
+from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
+from ..errors import ProtocolError
+from ..simcore.events import Event
+from ..ssd.latency import OP_FLUSH, OP_READ, OP_WRITE
+from ..units import BLOCK_4K
+from .capsule import Sqe
+from .pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu, IcReqPdu, IcRespPdu
+from .qpair import FabricQpair, IoRequest
+from .transport import PduTransport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..metrics.collector import Collector
+    from ..simcore.engine import Environment
+
+
+class InitiatorStats:
+    """Per-initiator protocol counters."""
+
+    __slots__ = (
+        "submitted",
+        "completed",
+        "failed",
+        "completion_pdus_received",
+        "data_pdus_received",
+        "coalesced_responses",
+        "requests_retired_by_coalescing",
+    )
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.completion_pdus_received = 0
+        self.data_pdus_received = 0
+        self.coalesced_responses = 0
+        self.requests_retired_by_coalescing = 0
+
+
+class NvmeOfInitiator:
+    """One tenant's connection to an NVMe-oF target."""
+
+    #: Class tag used in reports ("spdk" baseline vs "nvme-opf").
+    runtime_name = "spdk"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        core: CpuCore,
+        costs: CpuCostModel = DEFAULT_COSTS,
+        queue_depth: int = 128,
+        tenant_id: int = 0,
+        block_size: int = BLOCK_4K,
+        collector: Optional["Collector"] = None,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.core = core
+        self.costs = costs
+        self.qpair = FabricQpair(queue_depth=queue_depth)
+        self.tenant_id = check_tenant_id(tenant_id)
+        self.block_size = block_size
+        self.collector = collector
+        self.stats = InitiatorStats()
+        self.transport: Optional[PduTransport] = None
+        self._connected_event: Optional[Event] = None
+        self._connected = False
+        #: Completion hook for closed-loop workload generators.
+        self.on_request_complete: Optional[Callable[[IoRequest], None]] = None
+
+    # -- connection management --------------------------------------------------
+    def attach(self, transport: PduTransport) -> None:
+        self.transport = transport
+        transport.set_handler(self._on_pdu)
+
+    def connect(self) -> Event:
+        """Run the IC handshake; the returned event fires when connected."""
+        if self.transport is None:
+            raise ProtocolError(f"initiator {self.name!r} has no transport attached")
+        if self._connected_event is not None:
+            return self._connected_event
+        self._connected_event = Event(self.env)
+        done = self.core.execute(self.costs.pdu_tx, label="ic_tx")
+        done.callbacks.append(
+            lambda _ev: self.transport.send(IcReqPdu(tenant_id=self.tenant_id))
+        )
+        return self._connected_event
+
+    @property
+    def connected(self) -> bool:
+        return self._connected
+
+    @property
+    def queue_depth(self) -> int:
+        return self.qpair.queue_depth
+
+    @property
+    def outstanding(self) -> int:
+        return self.qpair.outstanding
+
+    @property
+    def can_submit(self) -> bool:
+        return self._connected and self.qpair.has_capacity
+
+    # -- I/O submission -----------------------------------------------------------
+    def read(self, slba: int, nlb: int = 1, nsid: int = 1, **kw: Any) -> IoRequest:
+        return self.submit(OP_READ, slba=slba, nlb=nlb, nsid=nsid, **kw)
+
+    def write(self, slba: int, nlb: int = 1, nsid: int = 1, **kw: Any) -> IoRequest:
+        return self.submit(OP_WRITE, slba=slba, nlb=nlb, nsid=nsid, **kw)
+
+    def submit(
+        self,
+        op: str,
+        slba: int = 0,
+        nlb: int = 1,
+        nsid: int = 1,
+        priority: "Priority | str" = Priority.THROUGHPUT,
+        context: Any = None,
+    ) -> IoRequest:
+        """Submit one I/O; returns the request context.
+
+        Raises :class:`~repro.errors.QueueFullError` when the qpair is at
+        its queue depth — closed-loop generators submit from completion
+        callbacks so they never hit this.
+        """
+        if not self._connected:
+            raise ProtocolError(f"initiator {self.name!r} is not connected")
+        priority = Priority.parse(priority)
+        request = self.qpair.allocate(
+            op=op,
+            nsid=nsid,
+            slba=slba,
+            nlb=nlb,
+            block_size=self.block_size,
+            priority=priority,
+            tenant_id=self.tenant_id,
+            context=context,
+        )
+        request.submitted_at = self.env.now
+        self.stats.submitted += 1
+        self._send_command(request)
+        return request
+
+    def _send_command(self, request: IoRequest) -> None:
+        sqe = Sqe.for_io(request.op, cid=request.cid, nsid=request.nsid,
+                         slba=request.slba, nlb=request.nlb)
+        self._fill_reserved(sqe, request)
+        data_len = request.nbytes if request.op == OP_WRITE else 0
+        pdu = CapsuleCmdPdu(sqe=sqe, data_len=data_len)
+        done = self.core.execute(self.costs.pdu_tx, label="cmd_tx")
+        done.callbacks.append(lambda _ev: self.transport.send(pdu))
+
+    # -- oPF override points -------------------------------------------------------
+    def _fill_reserved(self, sqe: Sqe, request: IoRequest) -> None:
+        """Baseline leaves the reserved SQE bytes zero (priority-unaware)."""
+
+    def _handle_response(self, resp: CapsuleRespPdu) -> None:
+        """Baseline: one response completes exactly one request."""
+        self._retire(resp.cqe.cid, resp.cqe.status)
+
+    # -- receive path -----------------------------------------------------------------
+    def _on_pdu(self, pdu: Any) -> None:
+        if isinstance(pdu, CapsuleRespPdu):
+            self.stats.completion_pdus_received += 1
+            cost = self.costs.pdu_rx + self.costs.completion_process
+            done = self.core.execute(cost, label="resp_rx")
+            done.callbacks.append(lambda _ev: self._handle_response(pdu))
+        elif isinstance(pdu, C2HDataPdu):
+            # Read payload; completion arrives separately as a CapsuleResp.
+            self.stats.data_pdus_received += 1
+            self.core.charge(self.costs.pdu_rx, label="data_rx")
+        elif isinstance(pdu, IcRespPdu):
+            self.core.charge(self.costs.pdu_rx, label="ic_rx")
+            self._connected = True
+            if self._connected_event is not None and not self._connected_event.triggered:
+                self._connected_event.succeed(self)
+        else:
+            raise ProtocolError(f"initiator received unexpected PDU {pdu!r}")
+
+    def _retire(self, cid: int, status: int) -> IoRequest:
+        request = self.qpair.complete(cid, now=self.env.now, status=status)
+        self.stats.completed += 1
+        if status != 0:
+            self.stats.failed += 1
+        if self.collector is not None:
+            self.collector.record(self.name, request)
+        if self.on_request_complete is not None:
+            self.on_request_complete(request)
+        return request
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<{type(self).__name__} {self.name!r} tenant={self.tenant_id} "
+            f"outstanding={self.qpair.outstanding}/{self.qpair.queue_depth}>"
+        )

@@ -1,0 +1,70 @@
+"""NVMe-oF subsystems: NQN-named bundles of namespaces backed by SSDs.
+
+A target exposes one subsystem; the subsystem maps fabric-visible namespace
+ids onto (device, device-namespace) pairs.  Multi-SSD target nodes (the
+scale-out experiments) attach several devices to one subsystem, one fabric
+namespace each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..errors import ConfigError, DeviceError
+from ..ssd.device import IoQpair, NvmeSsd
+
+
+@dataclass(frozen=True)
+class NamespaceMapping:
+    """One fabric namespace and its backing device namespace."""
+
+    fabric_nsid: int
+    device: NvmeSsd
+    device_nsid: int = 1
+
+
+class Subsystem:
+    """An NVMe-oF subsystem (NQN + namespace map)."""
+
+    def __init__(self, nqn: str) -> None:
+        if not nqn.startswith("nqn."):
+            raise ConfigError(f"NQN must start with 'nqn.': {nqn!r}")
+        self.nqn = nqn
+        self._mappings: Dict[int, NamespaceMapping] = {}
+
+    def add_namespace(self, fabric_nsid: int, device: NvmeSsd, device_nsid: int = 1) -> None:
+        if fabric_nsid in self._mappings:
+            raise ConfigError(f"fabric nsid {fabric_nsid} already mapped in {self.nqn}")
+        device.namespace(device_nsid)  # validates existence
+        self._mappings[fabric_nsid] = NamespaceMapping(fabric_nsid, device, device_nsid)
+
+    def add_device(self, device: NvmeSsd) -> int:
+        """Expose a whole device as the next fabric namespace; returns its nsid."""
+        nsid = max(self._mappings, default=0) + 1
+        self.add_namespace(nsid, device)
+        return nsid
+
+    def resolve(self, fabric_nsid: int) -> NamespaceMapping:
+        try:
+            return self._mappings[fabric_nsid]
+        except KeyError:
+            raise DeviceError(
+                f"subsystem {self.nqn} has no namespace {fabric_nsid}"
+            ) from None
+
+    @property
+    def namespace_ids(self) -> List[int]:
+        return sorted(self._mappings)
+
+    @property
+    def devices(self) -> List[NvmeSsd]:
+        seen, out = set(), []
+        for mapping in self._mappings.values():
+            if id(mapping.device) not in seen:
+                seen.add(id(mapping.device))
+                out.append(mapping.device)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Subsystem {self.nqn} namespaces={self.namespace_ids}>"

@@ -1,0 +1,230 @@
+"""Baseline userspace NVMe-oF target (SPDK-model).
+
+First-in-first-out: commands are submitted to the backing SSD as they
+arrive, and **every** completion generates its own response capsule — the
+behaviour whose cost NVMe-oPF attacks.  The target also charges a
+connection-switch cost whenever consecutively processed commands belong to
+different tenants, modelling the per-request state/cache switching the
+paper's "computation order" challenge describes (§I-B).
+
+:class:`repro.core.target.OpfTarget` subclasses this runtime.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
+
+from ..cpu.core import CpuCore
+from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
+from ..errors import ProtocolError
+from ..simcore.events import Event
+from ..ssd.device import IoQpair, NvmeSsd
+from ..ssd.latency import OP_FLUSH, OP_READ
+from ..ssd.queues import NvmeCompletion
+from .capsule import Cqe
+from .pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu, IcReqPdu, IcRespPdu
+from .subsystem import Subsystem
+from .transport import PduTransport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+
+
+class TargetStats:
+    """Per-target protocol counters (Figure 6c reads these)."""
+
+    __slots__ = (
+        "commands_received",
+        "completion_notifications",
+        "coalesced_notifications",
+        "data_pdus_sent",
+        "requests_completed",
+        "tenant_switches",
+    )
+
+    def __init__(self) -> None:
+        self.commands_received = 0
+        self.completion_notifications = 0
+        self.coalesced_notifications = 0
+        self.data_pdus_sent = 0
+        self.requests_completed = 0
+        self.tenant_switches = 0
+
+
+class RequestContext:
+    """Target-side context attached to each device command."""
+
+    __slots__ = ("conn", "cid", "op", "nbytes", "tenant_id", "draining", "group")
+
+    def __init__(
+        self,
+        conn: "TargetConnection",
+        cid: int,
+        op: str,
+        nbytes: int,
+        tenant_id: int,
+        draining: bool = False,
+        group: Any = None,
+    ) -> None:
+        self.conn = conn
+        self.cid = cid
+        self.op = op
+        self.nbytes = nbytes
+        self.tenant_id = tenant_id
+        self.draining = draining
+        self.group = group
+
+
+class TargetConnection:
+    """Target-side state for one initiator connection."""
+
+    def __init__(self, target: "NvmeOfTarget", transport: PduTransport, conn_index: int) -> None:
+        self.target = target
+        self.transport = transport
+        self.conn_index = conn_index
+        self.tenant_id: Optional[int] = None
+        transport.set_handler(self._on_pdu)
+
+    def _on_pdu(self, pdu: Any) -> None:
+        target = self.target
+        if isinstance(pdu, CapsuleCmdPdu):
+            target.stats.commands_received += 1
+            target._handle_command(self, pdu)
+        elif isinstance(pdu, IcReqPdu):
+            self.tenant_id = pdu.tenant_id
+            done = target.core.execute(
+                target.costs.pdu_rx + target.costs.pdu_tx, label="ic"
+            )
+            done.callbacks.append(lambda _ev: self.transport.send(IcRespPdu()))
+        else:
+            raise ProtocolError(f"target received unexpected PDU {pdu!r}")
+
+    def send(self, pdu: Any) -> None:
+        self.transport.send(pdu)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TargetConnection #{self.conn_index} tenant={self.tenant_id}>"
+
+
+class NvmeOfTarget:
+    """The storage-service side of the fabric."""
+
+    runtime_name = "spdk"
+
+    def __init__(
+        self,
+        env: "Environment",
+        name: str,
+        core: CpuCore,
+        subsystem: Subsystem,
+        costs: CpuCostModel = DEFAULT_COSTS,
+        conn_switch_cost: float = 0.5,
+        device_qpair_depth: int = 4096,
+    ) -> None:
+        self.env = env
+        self.name = name
+        self.core = core
+        self.costs = costs
+        self.subsystem = subsystem
+        self.conn_switch_cost = conn_switch_cost
+        self.stats = TargetStats()
+        self._connections: List[TargetConnection] = []
+        self._last_tenant: Optional[int] = None
+        # One device qpair per backing SSD, shared by all connections —
+        # completion contexts route responses back to the right connection.
+        self._device_qpairs: Dict[int, IoQpair] = {}
+        for device in subsystem.devices:
+            qp = device.create_qpair(depth=device_qpair_depth)
+            qp.on_completion = self._on_device_completion
+            self._device_qpairs[id(device)] = qp
+
+    # -- wiring -------------------------------------------------------------------
+    def bind(self, transport: PduTransport) -> TargetConnection:
+        """Accept one initiator connection."""
+        conn = TargetConnection(self, transport, conn_index=len(self._connections))
+        self._connections.append(conn)
+        return conn
+
+    @property
+    def connections(self) -> List[TargetConnection]:
+        return list(self._connections)
+
+    def device_qpair(self, device: NvmeSsd) -> IoQpair:
+        return self._device_qpairs[id(device)]
+
+    # -- command path ------------------------------------------------------------
+    def _tenant_switch_cost(self, tenant_id: int) -> float:
+        """Connection/state switch penalty when interleaving tenants."""
+        cost = 0.0
+        if self._last_tenant is not None and self._last_tenant != tenant_id:
+            cost = self.conn_switch_cost
+            self.stats.tenant_switches += 1
+        self._last_tenant = tenant_id
+        return cost
+
+    def _handle_command(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:
+        """Baseline FIFO: receive, then submit straight to the device."""
+        tenant_id = self._resolve_tenant(conn, pdu)
+        cost = self.costs.pdu_rx + self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
+        done = self.core.execute(cost, label="cmd_rx")
+        done.callbacks.append(lambda _ev: self._submit_to_device(conn, pdu, tenant_id))
+
+    def _resolve_tenant(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> int:
+        """Baseline has no per-request tenant bits: identify by connection."""
+        return conn.tenant_id if conn.tenant_id is not None else conn.conn_index
+
+    def _submit_to_device(
+        self,
+        conn: TargetConnection,
+        pdu: CapsuleCmdPdu,
+        tenant_id: int,
+        draining: bool = False,
+        group: Any = None,
+    ) -> None:
+        sqe = pdu.sqe
+        mapping = self.subsystem.resolve(sqe.nsid)
+        qp = self._device_qpairs[id(mapping.device)]
+        nbytes = sqe.nlb * mapping.device.profile.block_size if sqe.op_name != OP_FLUSH else 0
+        ctx = RequestContext(
+            conn=conn,
+            cid=sqe.cid,
+            op=sqe.op_name,
+            nbytes=nbytes,
+            tenant_id=tenant_id,
+            draining=draining,
+            group=group,
+        )
+        if sqe.op_name == OP_FLUSH:
+            qp.flush(nsid=mapping.device_nsid, context=ctx)
+        else:
+            qp.submit(
+                sqe.op_name,
+                nsid=mapping.device_nsid,
+                slba=sqe.slba,
+                nlb=sqe.nlb,
+                context=ctx,
+            )
+
+    # -- completion path -----------------------------------------------------------
+    def _on_device_completion(self, completion: NvmeCompletion) -> None:
+        ctx: RequestContext = completion.command.context
+        self._complete_request(ctx, completion.status)
+
+    def _complete_request(self, ctx: RequestContext, status: int) -> None:
+        """Baseline: each completion produces data (reads) + one response."""
+        cost = self.costs.nvme_complete + self.costs.cqe_build + self.costs.pdu_tx
+        if ctx.op == OP_READ:
+            cost += self.costs.pdu_tx  # the C2HData PDU
+        done = self.core.execute(cost, label="resp_tx")
+        done.callbacks.append(lambda _ev: self._send_response(ctx, status))
+
+    def _send_response(self, ctx: RequestContext, status: int) -> None:
+        self.stats.requests_completed += 1
+        if ctx.op == OP_READ:
+            self.stats.data_pdus_sent += 1
+            ctx.conn.send(C2HDataPdu(cid=ctx.cid, data_len=ctx.nbytes))
+        self.stats.completion_notifications += 1
+        ctx.conn.send(CapsuleRespPdu(cqe=Cqe(cid=ctx.cid, status=status)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} conns={len(self._connections)}>"

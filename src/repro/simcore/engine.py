@@ -1,0 +1,161 @@
+"""The discrete-event simulation environment (clock + event queue).
+
+:class:`Environment` owns the simulation clock (microseconds, ``float``) and
+a binary-heap event queue.  Determinism: ties at equal ``(time, priority)``
+are broken by a monotonically increasing sequence number, so two runs with
+the same seed replay identically.
+
+Typical usage::
+
+    env = Environment()
+
+    def hello(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    proc = env.process(hello(env))
+    env.run()
+    assert proc.value == 5.0
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+
+from ..errors import SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
+from .process import Process
+
+Infinity = float("inf")
+
+
+class Environment:
+    """Execution environment for a single simulation run."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock & introspection -----------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (if any)."""
+        return self._active_proc
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when the queue is empty."""
+        return self._queue[0][0] if self._queue else Infinity
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling -----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue ``event`` for processing at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its time."""
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("the event queue is empty") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:  # pragma: no cover - defensive
+            raise SimulationError(f"{event!r} processed twice")
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # An unhandled failure (e.g. a process crashed and nobody was
+            # waiting on it) aborts the simulation loudly rather than being
+            # silently dropped.
+            exc = event._value
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` — run until the event queue drains.
+            * a number — run until the clock reaches that time.
+            * an :class:`Event` — run until that event is processed and
+              return its value (raising if it failed).
+        """
+        if until is None:
+            stop: Optional[Event] = None
+        elif isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                return stop.value if stop.ok else self._reraise(stop.value)
+            stop.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise SimulationError(f"until={at} lies in the past (now={self._now})")
+            stop = Event(self)
+            stop._ok = True
+            stop._value = None
+            # URGENT: fire before any NORMAL event at the same timestamp.
+            heapq.heappush(self._queue, (at, URGENT, next(self._seq), stop))
+            stop.callbacks.append(self._stop_callback)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as exc:
+            return exc.args[0]
+
+        if stop is not None and not stop.triggered:
+            raise SimulationError("run(until=event) finished but the event never triggered")
+        return None
+
+    @staticmethod
+    def _reraise(exc: BaseException) -> None:
+        raise exc
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value
+
+    # -- factories -------------------------------------------------------------
+    def process(
+        self, generator: Generator[Event, Any, Any], name: Optional[str] = None
+    ) -> Process:
+        """Start a new process from ``generator`` and return it."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires after ``delay`` microseconds."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Condition event over all ``events``."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Condition event over any of ``events``."""
+        return AnyOf(self, events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

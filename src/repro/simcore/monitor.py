@@ -1,0 +1,64 @@
+"""Periodic sampling monitors.
+
+A :class:`Sampler` runs as a simulation process and records the value of a
+probe callable at a fixed interval — used for utilisation time series
+(link queue occupancy, CPU busy fraction, outstanding I/O depth) that feed
+the figure reproductions.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+
+class Sampler:
+    """Samples ``probe()`` every ``interval`` microseconds while running."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        probe: Callable[[], Any],
+        interval: float,
+        name: str = "sampler",
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.env = env
+        self.probe = probe
+        self.interval = interval
+        self.name = name
+        self.samples: List[Tuple[float, Any]] = []
+        self._proc = env.process(self._run(), name=f"sampler:{name}")
+
+    def _run(self):
+        from .process import Interrupt
+
+        try:
+            while True:
+                self.samples.append((self.env.now, self.probe()))
+                yield self.env.timeout(self.interval)
+        except Interrupt:
+            return
+
+    def stop(self) -> None:
+        """Stop sampling (safe to call more than once)."""
+        if self._proc.is_alive:
+            self._proc.interrupt("stop")
+
+    @property
+    def times(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    @property
+    def values(self) -> List[Any]:
+        return [v for _, v in self.samples]
+
+    def mean(self) -> float:
+        """Arithmetic mean of numeric samples (0.0 when empty)."""
+        if not self.samples:
+            return 0.0
+        vals = [float(v) for _, v in self.samples]
+        return sum(vals) / len(vals)

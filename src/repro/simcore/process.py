@@ -1,0 +1,155 @@
+"""Generator-based simulation processes.
+
+A *process* wraps a Python generator that yields :class:`~repro.simcore.events.Event`
+instances.  Yielding suspends the process until the event is processed; the
+event's value becomes the value of the ``yield`` expression.  A failed event
+re-raises its exception inside the generator at the yield point, enabling
+ordinary ``try/except`` error handling in protocol code.
+
+Processes are themselves events: they trigger when the generator returns
+(value = the generator's return value) or raises.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from ..errors import SimulationError
+from .events import Event, Initialize, NORMAL, URGENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Environment
+
+
+class Interrupt(Exception):
+    """Raised inside a process when :meth:`Process.interrupt` is called.
+
+    The interrupt ``cause`` is available as ``exc.cause``.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return f"Interrupt({self.cause!r})"
+
+
+class _InterruptEvent(Event):
+    """Internal urgent event delivering an interrupt to a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, env: "Environment", process: "Process", cause: Any) -> None:
+        super().__init__(env)
+        self.process = process
+        self._ok = False
+        self._value = Interrupt(cause)
+        self._defused = True
+        self.callbacks = [self._deliver]
+        env.schedule(self, delay=0.0, priority=URGENT)
+
+    def _deliver(self, event: Event) -> None:
+        process = self.process
+        if process.triggered:
+            return  # process already finished; interrupt is a no-op
+        # Detach the process from whatever it was waiting on; the old
+        # target may still fire but must no longer resume the process.
+        target = process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(process._resume)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+        process._resume(self)
+
+
+class Process(Event):
+    """A running simulation process (also usable as an event to wait on)."""
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (if any)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has terminated and cannot be interrupted")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        _InterruptEvent(self.env, self, cause)
+
+    # -- engine plumbing -----------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        env = self.env
+        env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The waited-on event failed: re-raise inside the process.
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                env._active_proc = None
+                self._ok = True
+                self._value = exc.value
+                env.schedule(self, delay=0.0, priority=NORMAL)
+                return
+            except BaseException as exc:
+                self._target = None
+                env._active_proc = None
+                self._ok = False
+                self._value = exc
+                env.schedule(self, delay=0.0, priority=NORMAL)
+                return
+
+            if not isinstance(next_event, Event):
+                self._target = None
+                env._active_proc = None
+                err = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                self._ok = False
+                self._value = err
+                env.schedule(self, delay=0.0, priority=NORMAL)
+                return
+
+            if next_event.callbacks is not None:
+                # Pending event: register and suspend.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+
+            # The yielded event was already processed: loop immediately with
+            # its (final) outcome instead of going through the queue again.
+            event = next_event
+
+        env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Process {self.name!r} {'done' if self.triggered else 'alive'}>"

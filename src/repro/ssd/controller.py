@@ -1,0 +1,201 @@
+"""NVMe controller: command arbitration, parallel channels, CQE posting.
+
+The controller drains submission queues in round-robin (the spec's default
+arbitration), dispatches each command to a pool of channel workers, and
+posts the completion to the paired CQ when the flash access finishes.
+Because channel service times vary, completions post **out of order**
+relative to submission — the property NVMe-oPF's CID queues must handle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..simcore.events import Event
+from .ftl import Ftl
+from .latency import OP_WRITE, SsdProfile
+from .queues import (
+    CompletionQueue,
+    NvmeCommand,
+    NvmeCompletion,
+    STATUS_LBA_OUT_OF_RANGE,
+    STATUS_SUCCESS,
+    SubmissionQueue,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+
+
+class QueuePair:
+    """One SQ/CQ pair registered with a controller.
+
+    ``urgent`` marks the NVMe urgent priority class: with weighted-round-
+    robin arbitration enabled, the controller always fetches urgent SQs
+    before normal ones.  (The baseline runtimes use only normal qpairs;
+    the device-priority extension routes latency-sensitive commands here.)
+    """
+
+    __slots__ = ("sq", "cq", "qid", "urgent")
+
+    def __init__(
+        self, sq: SubmissionQueue, cq: CompletionQueue, qid: int, urgent: bool = False
+    ) -> None:
+        self.sq = sq
+        self.cq = cq
+        self.qid = qid
+        self.urgent = urgent
+
+
+class NvmeController:
+    """Executes commands from registered queue pairs on parallel channels."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        profile: SsdProfile,
+        rng: np.random.Generator,
+        ftl: Optional[Ftl] = None,
+        name: str = "nvme",
+    ) -> None:
+        self.env = env
+        self.profile = profile
+        self.rng = rng
+        self.ftl = ftl
+        self.name = name
+        self._qpairs: List[QueuePair] = []
+        self._rr_index = 0
+        #: Commands fetched from SQs, waiting for a free channel.  Urgent-
+        #: class commands dispatch strictly before normal ones.
+        self._dispatch: Deque[Tuple[NvmeCommand, QueuePair]] = deque()
+        self._dispatch_urgent: Deque[Tuple[NvmeCommand, QueuePair]] = deque()
+        self._free_channels = profile.channels
+        self.commands_completed = 0
+        self.commands_failed = 0
+        self.busy_time = 0.0
+
+    # -- queue pair management -----------------------------------------------
+    def register_qpair(
+        self, sq: SubmissionQueue, cq: CompletionQueue, urgent: bool = False
+    ) -> QueuePair:
+        """Attach an SQ/CQ pair; the SQ doorbell is wired to arbitration."""
+        qid = len(self._qpairs) + 1
+        qpair = QueuePair(sq, cq, qid, urgent=urgent)
+        self._qpairs.append(qpair)
+        sq.doorbell = self._on_doorbell
+        return qpair
+
+    @property
+    def inflight(self) -> int:
+        """Commands executing on channels right now."""
+        return self.profile.channels - self._free_channels
+
+    @property
+    def dispatch_depth(self) -> int:
+        """Commands fetched but waiting for a channel."""
+        return len(self._dispatch) + len(self._dispatch_urgent)
+
+    # -- arbitration -----------------------------------------------------------
+    def _on_doorbell(self) -> None:
+        self._arbitrate()
+        self._fill_channels()
+
+    def _arbitrate(self) -> None:
+        """Round-robin fetch from non-empty SQs into the dispatch queue."""
+        n = len(self._qpairs)
+        if n == 0:
+            return
+        empty_streak = 0
+        while empty_streak < n:
+            qpair = self._qpairs[self._rr_index]
+            self._rr_index = (self._rr_index + 1) % n
+            if qpair.sq.is_empty:
+                empty_streak += 1
+                continue
+            empty_streak = 0
+            queue = self._dispatch_urgent if qpair.urgent else self._dispatch
+            queue.append((qpair.sq.pop(), qpair))
+
+    def _fill_channels(self) -> None:
+        while self._free_channels > 0 and (self._dispatch_urgent or self._dispatch):
+            if self._dispatch_urgent:
+                command, qpair = self._dispatch_urgent.popleft()
+            else:
+                command, qpair = self._dispatch.popleft()
+            self._free_channels -= 1
+            self._execute(command, qpair)
+
+    def _execute(self, command: NvmeCommand, qpair: QueuePair) -> None:
+        status = self._validate(command)
+        if status != STATUS_SUCCESS:
+            # Failed commands complete "immediately" (controller-side check).
+            service = 1.0
+        else:
+            nbytes = command.nbytes(self.profile.block_size)
+            service = self.profile.service_time(self.rng, command.opcode, nbytes)
+            if self.ftl is not None and command.opcode == OP_WRITE:
+                service += self.ftl.write_penalty(nbytes, service)
+        self.busy_time += service
+
+        done = Event(self.env)
+        done._ok = True
+        done._value = (command, qpair, status)
+        done.callbacks.append(self._on_channel_done)
+        self.env.schedule(done, delay=service)
+
+    def _on_channel_done(self, event: Event) -> None:
+        command, qpair, status = event._value
+        self._free_channels += 1
+        if status == STATUS_SUCCESS:
+            self.commands_completed += 1
+        else:
+            self.commands_failed += 1
+        qpair.cq.post(NvmeCompletion(command.cid, status, self.env.now, command))
+        # A channel freed up: pull more work.
+        self._arbitrate()
+        self._fill_channels()
+
+    def _validate(self, command: NvmeCommand) -> int:
+        if command.opcode == OP_WRITE or command.opcode == "read":
+            if command.slba < 0 or command.slba + command.nlb > self.profile.capacity_blocks:
+                return STATUS_LBA_OUT_OF_RANGE
+        return STATUS_SUCCESS
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Aggregate channel utilisation since t=0."""
+        t = elapsed if elapsed is not None else self.env.now
+        if t <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / (t * self.profile.channels))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<NvmeController {self.name!r} inflight={self.inflight}"
+            f" dispatch={len(self._dispatch)}>"
+        )
+
+
+class DeviceErrorInjector:
+    """Test helper: wraps a controller's validate step to inject failures."""
+
+    def __init__(self, controller: NvmeController, fail_every: int) -> None:
+        if fail_every < 1:
+            raise DeviceError("fail_every must be >= 1")
+        self.controller = controller
+        self.fail_every = fail_every
+        self._count = 0
+        self._orig_validate = controller._validate
+        controller._validate = self._validate  # type: ignore[method-assign]
+
+    def _validate(self, command: NvmeCommand) -> int:
+        self._count += 1
+        if self._count % self.fail_every == 0:
+            return STATUS_LBA_OUT_OF_RANGE
+        return self._orig_validate(command)
+
+    def restore(self) -> None:
+        self.controller._validate = self._orig_validate  # type: ignore[method-assign]

@@ -1,0 +1,158 @@
+"""NVMe SSD facade: namespaces + I/O queue pairs over one controller.
+
+This is the device the NVMe-oF target exports.  Hosts (the target runtime)
+create I/O qpairs, submit read/write commands by LBA, and reap completions
+via the CQ post hook.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+import numpy as np
+
+from ..errors import DeviceError
+from ..simcore.rng import RandomStreams
+from .controller import NvmeController, QueuePair
+from .ftl import Ftl, FtlConfig
+from .latency import OP_FLUSH, OP_READ, OP_WRITE, SsdProfile
+from .queues import CompletionQueue, NvmeCommand, NvmeCompletion, SubmissionQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+
+
+class Namespace:
+    """One NVMe namespace (a contiguous LBA range)."""
+
+    def __init__(self, nsid: int, blocks: int, block_size: int) -> None:
+        if nsid < 1:
+            raise DeviceError("nsid must be >= 1")
+        if blocks < 1:
+            raise DeviceError("namespace must have at least one block")
+        self.nsid = nsid
+        self.blocks = blocks
+        self.block_size = block_size
+
+    @property
+    def bytes(self) -> int:
+        return self.blocks * self.block_size
+
+    def check_range(self, slba: int, nlb: int) -> None:
+        if slba < 0 or nlb < 1 or slba + nlb > self.blocks:
+            raise DeviceError(
+                f"LBA range [{slba}, {slba + nlb}) outside namespace {self.nsid} "
+                f"({self.blocks} blocks)"
+            )
+
+
+class IoQpair:
+    """Host-side handle to one SQ/CQ pair on a device."""
+
+    def __init__(self, device: "NvmeSsd", qpair: QueuePair, depth: int) -> None:
+        self.device = device
+        self._qpair = qpair
+        self.depth = depth
+        self._cids = count()
+        self._outstanding: Dict[int, NvmeCommand] = {}
+        qpair.cq.on_post = self._on_cqe
+        #: Completion callback: invoked with each NvmeCompletion as it lands.
+        self.on_completion: Optional[Callable[[NvmeCompletion], None]] = None
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._outstanding)
+
+    def _next_cid(self) -> int:
+        return next(self._cids) & 0xFFFF
+
+    def submit(
+        self,
+        opcode: str,
+        nsid: int = 1,
+        slba: int = 0,
+        nlb: int = 1,
+        context: object = None,
+    ) -> NvmeCommand:
+        """Build, validate, and submit one command; returns it (with CID)."""
+        ns = self.device.namespace(nsid)
+        if opcode != OP_FLUSH:
+            ns.check_range(slba, nlb)
+        command = NvmeCommand(
+            cid=self._next_cid(), opcode=opcode, nsid=nsid, slba=slba, nlb=nlb, context=context
+        )
+        self._outstanding[command.cid] = command
+        self._qpair.sq.submit(command)
+        return command
+
+    def read(self, nsid: int, slba: int, nlb: int, context: object = None) -> NvmeCommand:
+        return self.submit(OP_READ, nsid=nsid, slba=slba, nlb=nlb, context=context)
+
+    def write(self, nsid: int, slba: int, nlb: int, context: object = None) -> NvmeCommand:
+        return self.submit(OP_WRITE, nsid=nsid, slba=slba, nlb=nlb, context=context)
+
+    def flush(self, nsid: int = 1, context: object = None) -> NvmeCommand:
+        return self.submit(OP_FLUSH, nsid=nsid, context=context)
+
+    def _on_cqe(self, completion: NvmeCompletion) -> None:
+        # Polled host: consume the CQE as soon as it posts, so the ring
+        # never backs up (the CPU cost of reaping is charged by the caller).
+        self._qpair.cq.reap()
+        self._outstanding.pop(completion.cid, None)
+        if self.on_completion is not None:
+            self.on_completion(completion)
+
+
+class NvmeSsd:
+    """One simulated NVMe SSD."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        profile: Optional[SsdProfile] = None,
+        streams: Optional[RandomStreams] = None,
+        ftl_config: Optional[FtlConfig] = None,
+        name: str = "nvme0",
+    ) -> None:
+        self.env = env
+        self.profile = profile or SsdProfile()
+        self.name = name
+        rng = (streams or RandomStreams(0)).stream(f"ssd/{name}")
+        ftl = Ftl(env, ftl_config, rng=rng) if ftl_config is not None else None
+        self.controller = NvmeController(env, self.profile, rng, ftl=ftl, name=name)
+        self._namespaces: Dict[int, Namespace] = {
+            1: Namespace(1, self.profile.capacity_blocks, self.profile.block_size)
+        }
+
+    def namespace(self, nsid: int) -> Namespace:
+        try:
+            return self._namespaces[nsid]
+        except KeyError:
+            raise DeviceError(f"unknown namespace {nsid} on {self.name!r}") from None
+
+    @property
+    def namespaces(self) -> Dict[int, Namespace]:
+        return dict(self._namespaces)
+
+    def add_namespace(self, nsid: int, blocks: int) -> Namespace:
+        """Carve an additional namespace (test/bench convenience)."""
+        if nsid in self._namespaces:
+            raise DeviceError(f"namespace {nsid} already exists")
+        ns = Namespace(nsid, blocks, self.profile.block_size)
+        self._namespaces[nsid] = ns
+        return ns
+
+    def create_qpair(self, depth: int = 1024, urgent: bool = False) -> IoQpair:
+        """Allocate one I/O SQ/CQ pair of the given depth.
+
+        ``urgent`` places the pair in the NVMe urgent priority class: the
+        controller arbitrates it strictly before normal pairs.
+        """
+        sq = SubmissionQueue(self.env, depth=depth)
+        cq = CompletionQueue(self.env, depth=depth)
+        qpair = self.controller.register_qpair(sq, cq, urgent=urgent)
+        return IoQpair(self, qpair, depth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<NvmeSsd {self.name!r} profile={self.profile.name!r}>"

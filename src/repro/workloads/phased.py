@@ -1,0 +1,165 @@
+"""Phased workloads: one application alternating optimisation goals.
+
+§III-C motivates per-request flags with applications that alternate between
+phases: "if an application necessitates exchanging metadata or control
+information during a particular phase, users can set requests as
+latency-sensitive; conversely, during a high workload phase, users may
+prioritize throughput-critical requests."
+
+:class:`PhasedGenerator` drives a *single* initiator through that pattern —
+alternating latency-sensitive control phases (low queue depth, few ops)
+and throughput-critical bulk phases (deep queue, many ops) — and records
+per-phase latency/throughput.  Only a priority-aware runtime can give the
+same connection both behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, List, Optional
+
+import numpy as np
+
+from ..core.flags import Priority
+from ..core.initiator import OpfInitiator
+from ..errors import WorkloadError
+from ..simcore.events import Event
+from ..ssd.latency import OP_FLUSH, OP_READ, OP_WRITE
+from ..units import BLOCK_4K
+from .patterns import AddressPattern, SEQUENTIAL
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..nvmeof.initiator import NvmeOfInitiator
+    from ..simcore.engine import Environment
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One phase of the alternating workload."""
+
+    priority: Priority
+    ops: int
+    queue_depth: int
+    op_mix: str = "read"  # "read" | "write"
+
+    def __post_init__(self) -> None:
+        if self.ops < 1 or self.queue_depth < 1:
+            raise WorkloadError("phase ops and queue depth must be positive")
+        if self.op_mix not in ("read", "write"):
+            raise WorkloadError("phase op_mix must be 'read' or 'write'")
+
+
+#: The paper's motivating shape: a small latency-sensitive control phase
+#: followed by a deep throughput-critical bulk phase.
+DEFAULT_PHASES = (
+    PhaseSpec(Priority.LATENCY, ops=8, queue_depth=1, op_mix="write"),
+    PhaseSpec(Priority.THROUGHPUT, ops=256, queue_depth=64, op_mix="write"),
+)
+
+
+@dataclass
+class PhaseResult:
+    """Measured outcome of one executed phase."""
+
+    spec: PhaseSpec
+    started_at: float
+    finished_at: float
+    latencies: List[float] = field(default_factory=list)
+
+    @property
+    def elapsed_us(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def mean_latency_us(self) -> float:
+        return float(np.mean(self.latencies)) if self.latencies else 0.0
+
+    @property
+    def iops(self) -> float:
+        return len(self.latencies) / self.elapsed_us * 1e6 if self.elapsed_us > 0 else 0.0
+
+
+class PhasedGenerator:
+    """Runs phases back to back on one initiator, switching flags live."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        initiator: "NvmeOfInitiator",
+        phases: Optional[List[PhaseSpec]] = None,
+        rounds: int = 1,
+        namespace_blocks: int = 1 << 20,
+    ) -> None:
+        if rounds < 1:
+            raise WorkloadError("rounds must be >= 1")
+        self.env = env
+        self.initiator = initiator
+        self.phases = list(phases) if phases is not None else list(DEFAULT_PHASES)
+        if not self.phases:
+            raise WorkloadError("need at least one phase")
+        self.rounds = rounds
+        self.pattern = AddressPattern(SEQUENTIAL, total_blocks=namespace_blocks)
+        self.results: List[PhaseResult] = []
+        self.process = env.process(self._run(), name="phased-workload")
+
+    @property
+    def done(self):
+        """The generator's process doubles as its completion event."""
+        return self.process
+
+    def _run(self):
+        env = self.env
+        for _round in range(self.rounds):
+            for spec in self.phases:
+                result = PhaseResult(spec=spec, started_at=env.now, finished_at=env.now)
+                op = OP_READ if spec.op_mix == "read" else OP_WRITE
+                inflight: List[Event] = []
+                issued = 0
+                while issued < spec.ops:
+                    while (
+                        issued < spec.ops
+                        and len(inflight) < spec.queue_depth
+                        and self.initiator.qpair.has_capacity
+                    ):
+                        request = self.initiator.submit(
+                            op,
+                            slba=self.pattern.next_slba(),
+                            nlb=1,
+                            priority=spec.priority,
+                            context=result,
+                        )
+                        inflight.append(request.completion_event(env))
+                        issued += 1
+                    head = inflight.pop(0)
+                    finished = yield head
+                    result.latencies.append(finished.latency)
+                # Phase barrier: flush a partial coalescing window, then
+                # wait for the stragglers before switching priorities.
+                if isinstance(self.initiator, OpfInitiator):
+                    self.initiator.drain()
+                for event in inflight:
+                    finished = yield event
+                    result.latencies.append(finished.latency)
+                result.finished_at = env.now
+                self.results.append(result)
+        return self.results
+
+    # -- analysis -----------------------------------------------------------------
+    def results_for(self, priority: Priority) -> List[PhaseResult]:
+        return [r for r in self.results if r.spec.priority is priority]
+
+    def mean_control_latency(self) -> float:
+        """Mean latency across latency-sensitive (control) phases."""
+        latencies = [x for r in self.results_for(Priority.LATENCY) for x in r.latencies]
+        if not latencies:
+            raise WorkloadError("no latency-sensitive phases executed")
+        return float(np.mean(latencies))
+
+    def bulk_throughput_iops(self) -> float:
+        """Aggregate IOPS across throughput-critical (bulk) phases."""
+        results = self.results_for(Priority.THROUGHPUT)
+        if not results:
+            raise WorkloadError("no throughput-critical phases executed")
+        total_ops = sum(len(r.latencies) for r in results)
+        total_time = sum(r.elapsed_us for r in results)
+        return total_ops / total_time * 1e6 if total_time > 0 else 0.0

@@ -1,0 +1,170 @@
+"""Tests for the log-structured KV store application substrate."""
+
+import pytest
+
+from repro.apps import KvStore
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.errors import WorkloadError
+from repro.net import Fabric
+from repro.simcore import Environment, RandomStreams
+
+
+def make_store(protocol="nvme-opf", memtable_limit=8, region_blocks=1 << 12):
+    env = Environment()
+    fabric = Fabric(env, rate_gbps=100)
+    tnode = TargetNode(env, "t0", fabric, RandomStreams(17), protocol=protocol)
+    inode = InitiatorNode(env, "c0", fabric)
+    initiator = inode.add_initiator(
+        "kv", tnode, protocol=protocol, queue_depth=64, window_size=16
+    )
+    env.run(until=initiator.connect())
+    store = KvStore(env, initiator, memtable_limit=memtable_limit,
+                    region_blocks=region_blocks)
+    return env, store, tnode
+
+
+def run_app(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return proc.value
+
+
+def test_get_after_put_memtable():
+    env, store, _ = make_store()
+
+    def app(env):
+        yield from store.put("alpha", 100)
+        value = yield from store.get("alpha")
+        return value
+
+    assert run_app(env, app(env)) == 100
+    assert store.stats.hits_memtable == 1
+    assert store.stats.flushes == 0
+
+
+def test_get_after_flush_reads_segment():
+    env, store, _ = make_store(memtable_limit=4)
+
+    def app(env):
+        for i in range(4):  # 4th put triggers the flush
+            yield from store.put(f"k{i}", 64 + i)
+        assert store.stats.flushes == 1
+        assert store.memtable == {}
+        value = yield from store.get("k2")
+        return value
+
+    assert run_app(env, app(env)) == 66
+    assert store.stats.hits_segment == 1
+    assert store.stats.segment_probes == 1
+
+
+def test_newer_value_wins_across_segments():
+    env, store, _ = make_store(memtable_limit=2)
+
+    def app(env):
+        yield from store.put("key", 100)
+        yield from store.put("pad0", 1)  # flush #1
+        yield from store.put("key", 200)
+        yield from store.put("pad1", 1)  # flush #2
+        value = yield from store.get("key")
+        return value
+
+    assert run_app(env, app(env)) == 200
+    assert len(store.segments) == 2
+
+
+def test_miss_probes_all_segments():
+    env, store, _ = make_store(memtable_limit=2)
+
+    def app(env):
+        for i in range(6):
+            yield from store.put(f"k{i}", 10)
+        value = yield from store.get("ghost")
+        return value
+
+    assert run_app(env, app(env)) is None
+    assert store.stats.misses == 1
+
+
+def test_compaction_preserves_data_and_reduces_segments():
+    env, store, _ = make_store(memtable_limit=4)
+
+    def app(env):
+        for i in range(16):
+            yield from store.put(f"k{i}", 50 + i)
+        yield from store.put("k3", 999)  # overwrite, lives in a newer run
+        assert len(store.segments) >= 3
+        yield from store.compact()
+        assert len(store.segments) == 1
+        assert store.stats.compactions == 1
+        v3 = yield from store.get("k3")
+        v7 = yield from store.get("k7")
+        return v3, v7
+
+    v3, v7 = run_app(env, app(env))
+    assert v3 == 999
+    assert v7 == 57
+    assert store.read_amplification == 1.0
+
+
+def test_kv_priorities_reach_target():
+    """GET probes are latency-sensitive; flush/compaction traffic coalesces."""
+    env, store, tnode = make_store(memtable_limit=8)
+
+    def app(env):
+        for i in range(32):
+            yield from store.put(f"k{i}", 64)
+        yield from store.get("k1")
+        yield from store.compact()
+
+    run_app(env, app(env))
+    env.run()
+    stats = tnode.target.stats
+    assert stats.coalesced_notifications > 0  # flush/compaction coalesced
+    assert tnode.target.pm.ls_bypassed >= 1  # the GET probe bypassed
+
+
+def test_kv_contains_and_validation():
+    env, store, _ = make_store()
+
+    def app(env):
+        yield from store.put("present", 10)
+
+    run_app(env, app(env))
+    assert "present" in store
+    assert "absent" not in store
+    with pytest.raises(WorkloadError):
+        run_app(env, store.put("", 10))
+    with pytest.raises(WorkloadError):
+        run_app(env, store.put("k", 0))
+    with pytest.raises(WorkloadError):
+        KvStore(env, store.initiator, memtable_limit=0)
+    with pytest.raises(WorkloadError):
+        KvStore(env, store.initiator, memtable_limit=64, region_blocks=8)
+
+
+def test_kv_region_exhaustion_is_loud():
+    env, store, _ = make_store(memtable_limit=4, region_blocks=16)
+
+    def app(env):
+        # Keep flushing without compaction until the region overflows.
+        try:
+            for i in range(200):
+                yield from store.put(f"k{i}", BLOCK := 4096)
+        except WorkloadError as exc:
+            return str(exc)
+        return None
+
+    message = run_app(env, app(env))
+    assert message is not None and "exhausted" in message
+
+
+def test_kv_on_baseline_runtime():
+    env, store, _ = make_store(protocol="spdk", memtable_limit=4)
+
+    def app(env):
+        for i in range(8):
+            yield from store.put(f"k{i}", 32)
+        return (yield from store.get("k5"))
+
+    assert run_app(env, app(env)) == 32

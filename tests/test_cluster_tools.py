@@ -1,0 +1,199 @@
+"""Tests for scaling builders, sweeps, and the experiments harnesses."""
+
+import pytest
+
+from repro.cluster import (
+    Scenario,
+    ScenarioConfig,
+    build_scaleout,
+    compare_protocols,
+    pattern1,
+    pattern2,
+    sweep,
+    tenants_for_node,
+)
+from repro.core.flags import Priority
+from repro.errors import ConfigError
+
+
+# ------------------------------------------------------------- scaling ----
+def test_tenants_for_node_composition():
+    tenants = tenants_for_node(0, 5, "read", include_ls=True)
+    assert len(tenants) == 5
+    assert sum(t.is_latency_sensitive for t in tenants) == 1
+    assert tenants[0].is_latency_sensitive  # one LS, then TC
+
+
+def test_tenants_for_node_single_initiator_is_tc():
+    tenants = tenants_for_node(2, 1, "write", include_ls=True)
+    assert len(tenants) == 1
+    assert not tenants[0].is_latency_sensitive
+
+
+def test_tenants_for_node_without_ls():
+    tenants = tenants_for_node(0, 4, "read", include_ls=False)
+    assert len(tenants) == 4
+    assert not any(t.is_latency_sensitive for t in tenants)
+
+
+def test_tenants_for_node_validation():
+    with pytest.raises(ConfigError):
+        tenants_for_node(0, 0, "read")
+
+
+def test_build_scaleout_wiring():
+    cfg = ScenarioConfig(protocol="spdk", total_ops=40, warmup_us=0)
+    sc = build_scaleout(cfg, n_node_pairs=2, initiators_per_node=2)
+    res = sc.run()
+    assert len(sc.target_nodes) == 2
+    assert len(sc.initiator_nodes) == 2
+    assert res.commands_received >= 80  # 2 TC x 40 (plus LS traffic)
+    with pytest.raises(ConfigError):
+        build_scaleout(cfg, 0, 1)
+
+
+def test_pattern1_point_counts():
+    points = pattern1("spdk", "read", n_node_pairs=2,
+                      initiators_per_node_range=[1, 2], total_ops=40)
+    assert [p.total_initiators for p in points] == [2, 4]
+    assert all(p.throughput_mbps > 0 for p in points)
+
+
+def test_pattern2_point_counts():
+    points = pattern2("nvme-opf", "read", node_pairs_range=[1, 2],
+                      initiators_per_node=2, total_ops=40)
+    assert [p.total_initiators for p in points] == [2, 4]
+    # Adding a node pair adds hardware: throughput roughly scales.
+    assert points[1].throughput_mbps > points[0].throughput_mbps * 1.5
+
+
+# ---------------------------------------------------------------- sweep ----
+def test_sweep_grid_applies_config_fields():
+    base = ScenarioConfig(protocol="spdk", total_ops=40, warmup_us=0)
+    points = sweep(base, {"network_gbps": [25.0, 100.0]}, ratio="0:1")
+    assert len(points) == 2
+    assert {p[0]["network_gbps"] for p in points} == {25.0, 100.0}
+    assert all(p[1].tc_throughput_mbps > 0 for p in points)
+
+
+def test_sweep_empty_grid_rejected():
+    base = ScenarioConfig(protocol="spdk", total_ops=10)
+    with pytest.raises(ConfigError):
+        sweep(base, {})
+
+
+def test_sweep_custom_builder_receives_extras():
+    base = ScenarioConfig(protocol="spdk", total_ops=30, warmup_us=0)
+    seen = []
+
+    def build(cfg, extra):
+        seen.append(extra)
+        from repro.workloads import tenants_for_ratio
+
+        return Scenario.two_sided(cfg, tenants_for_ratio(extra["ratio"]))
+
+    points = sweep(base, {"ratio": ["0:1", "0:2"]}, build=build)
+    assert len(points) == 2
+    assert seen == [{"ratio": "0:1"}, {"ratio": "0:2"}]
+
+
+def test_compare_protocols_pairs_points():
+    base = ScenarioConfig(total_ops=40, warmup_us=0)
+    rows = compare_protocols(base, {"op_mix": ["read"]}, ratio="0:1")
+    assert len(rows) == 1
+    params, spdk, opf = rows[0]
+    assert params == {"op_mix": "read"}
+    assert spdk.protocol == "spdk"
+    assert opf.protocol == "nvme-opf"
+
+
+# ------------------------------------------------------------ experiments ----
+def test_fig6c_smoke():
+    from repro.experiments import run_fig6c
+
+    points = run_fig6c(windows=(16,), total_ops=64)
+    labels = {p.label for p in points}
+    assert labels == {"spdk-qd1", "spdk-qd128", "opf-w16"}
+    opf = next(p for p in points if p.label == "opf-w16" and p.op_mix == "read")
+    spdk = next(p for p in points if p.label == "spdk-qd128" and p.op_mix == "read")
+    assert opf.notifications < spdk.notifications
+
+
+def test_fig7_smoke_and_helpers():
+    from repro.experiments import mean_tail_reduction, pair_up, run_fig7
+
+    points = run_fig7(ratios=("1:1",), speeds=(100.0,), mixes=("read",), total_ops=80)
+    assert len(points) == 2
+    pairs = pair_up(points)
+    assert len(pairs) == 1
+    assert mean_tail_reduction(points) != 0.0
+
+
+def test_fig8_smoke():
+    from repro.experiments import run_fig8
+
+    curves = run_fig8(mixes=("read",), patterns=(2,), pairs_range=[1], total_ops=60)
+    assert len(curves) == 2
+    for curve in curves:
+        assert curve.points[0].throughput_mbps > 0
+
+
+def test_fig9_smoke():
+    from repro.experiments import run_fig9
+
+    points = run_fig9(
+        modes=("write",), patterns=(2,), n_node_pairs=1, ranks_per_node_max=2,
+        particles_per_rank=4096, timesteps=1, dataset_load_us=100.0,
+    )
+    assert len(points) == 2
+    assert all(p.bandwidth_mbps > 0 for p in points)
+
+
+def test_table1_contains_paper_values():
+    from repro.experiments import table1_rows
+
+    text = str(table1_rows())
+    for needle in ("EPYC 7352", "EPYC 7543", "256GB", "3.2 TB", "1.6 TB"):
+        assert needle in text
+
+
+def test_runner_cli_quick_table1(capsys):
+    from repro.experiments.runner import main
+
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out
+
+
+def test_paper_targets_registry():
+    from repro.experiments import PAPER_TARGETS
+
+    assert "fig7_read_100g_1_4" in PAPER_TARGETS
+    target = PAPER_TARGETS["fig7_read_100g_1_4"]
+    assert target.value == 49.5
+    assert target.kind == "gain_pct"
+    # Every figure of the evaluation is represented.
+    figures = {t.figure[0] for t in PAPER_TARGETS.values()}
+    assert {"6", "7", "8", "9"} <= figures
+
+
+def test_validation_scorecard_all_pass():
+    from repro.experiments.validate import format_validation, run_validation
+
+    entries = run_validation(total_ops=250)
+    assert len(entries) == 10
+    assert all(e.ok for e in entries), [e.target_id for e in entries if not e.ok]
+    text = format_validation(entries)
+    assert "PASS" in text and "FAIL" not in text
+
+
+def test_random_pattern_scenario():
+    from repro.workloads import tenants_for_ratio
+
+    cfg = ScenarioConfig(protocol="nvme-opf", pattern="rand", total_ops=120,
+                         warmup_us=0, seed=9)
+    sc = Scenario.two_sided(cfg, tenants_for_ratio("0:1"))
+    res = sc.run()
+    assert res.tc_throughput_mbps > 0
+    gen = sc.generators[0]
+    assert gen.pattern.kind == "rand"

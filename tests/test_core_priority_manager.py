@@ -1,0 +1,207 @@
+"""Unit tests for Algorithms 1-4 (Fig. 5) via the priority managers."""
+
+import pytest
+
+from repro.core import DrainGroup, Priority, TenantRegistry
+from repro.core.priority_manager import InitiatorPriorityManager, TargetPriorityManager
+from repro.errors import ConfigError, ProtocolError, TenantError
+from repro.nvmeof.capsule import OPCODE_READ, Sqe
+from repro.nvmeof.pdu import CapsuleCmdPdu
+
+
+def make_sqe(cid, priority=Priority.THROUGHPUT, draining=False, tenant=0):
+    from repro.core.flags import pack_flags
+
+    return Sqe(
+        opcode=OPCODE_READ,
+        cid=cid,
+        rsvd_priority=pack_flags(priority, draining),
+        rsvd_tenant=tenant,
+    )
+
+
+def make_cmd(cid, priority=Priority.THROUGHPUT, draining=False, tenant=0):
+    return CapsuleCmdPdu(sqe=make_sqe(cid, priority, draining, tenant))
+
+
+# ---------------------------------------------------- Alg. 1: before send ----
+def test_alg1_tc_requests_queue_and_get_flags():
+    pm = InitiatorPriorityManager(window_size=4, queue_depth=128)
+    for cid in range(3):
+        sqe = Sqe(opcode=OPCODE_READ, cid=cid)
+        draining = pm.before_send(sqe, Priority.THROUGHPUT, tenant_id=7)
+        assert not draining
+        assert sqe.rsvd_priority == 0b01
+        assert sqe.rsvd_tenant == 7
+    assert len(pm.cid_queue) == 3
+    assert pm.pending_undrained == 3
+
+
+def test_alg1_every_wth_request_drains():
+    pm = InitiatorPriorityManager(window_size=4, queue_depth=128)
+    drains = []
+    for cid in range(12):
+        sqe = Sqe(opcode=OPCODE_READ, cid=cid)
+        drains.append(pm.before_send(sqe, Priority.THROUGHPUT, tenant_id=0))
+    assert [i for i, d in enumerate(drains) if d] == [3, 7, 11]
+    assert pm.drains_sent == 3
+    assert pm.pending_undrained == 0
+
+
+def test_alg1_latency_sensitive_not_queued():
+    pm = InitiatorPriorityManager(window_size=4, queue_depth=128)
+    sqe = Sqe(opcode=OPCODE_READ, cid=1)
+    draining = pm.before_send(sqe, Priority.LATENCY, tenant_id=3)
+    assert not draining
+    assert sqe.rsvd_priority == 0
+    assert len(pm.cid_queue) == 0
+
+
+def test_window_larger_than_queue_depth_rejected():
+    """§IV-A live-lock guard."""
+    with pytest.raises(ConfigError):
+        InitiatorPriorityManager(window_size=129, queue_depth=128)
+    # But demonstrable when explicitly allowed.
+    pm = InitiatorPriorityManager(window_size=129, queue_depth=128, allow_lock=True)
+    assert pm.window_size == 129
+
+
+# -------------------------------------------------- Alg. 2: on response ----
+def test_alg2_coalesced_response_retires_in_order():
+    pm = InitiatorPriorityManager(window_size=4, queue_depth=128)
+    for cid in range(8):
+        pm.before_send(Sqe(opcode=OPCODE_READ, cid=cid), Priority.THROUGHPUT, 0)
+    retired = pm.on_coalesced_response(3)
+    assert retired == [0, 1, 2, 3]
+    retired = pm.on_coalesced_response(7)
+    assert retired == [4, 5, 6, 7]
+    assert pm.coalesced_retired == 8
+
+
+def test_alg2_individual_response_for_queued_cid_counts_premature():
+    pm = InitiatorPriorityManager(window_size=4, queue_depth=128)
+    pm.before_send(Sqe(opcode=OPCODE_READ, cid=5), Priority.THROUGHPUT, 0)
+    assert pm.on_individual_response(5) is True  # premature (broken target)
+    assert pm.premature_responses == 1
+    assert 5 not in pm.cid_queue
+    assert pm.on_individual_response(99) is False  # LS cid: normal path
+
+
+def test_force_drain_flags():
+    pm = InitiatorPriorityManager(window_size=8, queue_depth=128)
+    for cid in range(3):
+        pm.before_send(Sqe(opcode=OPCODE_READ, cid=cid), Priority.THROUGHPUT, 0)
+    marker = Sqe.for_io("flush", cid=50)
+    pm.force_drain_flags(marker, tenant_id=0)
+    assert marker.rsvd_priority == 0b11
+    assert pm.pending_undrained == 0
+    assert pm.on_coalesced_response(50) == [0, 1, 2, 50]
+
+
+# ------------------------------------------------ Alg. 3: target arrival ----
+def test_alg3_ls_bypasses_queues():
+    pm = TargetPriorityManager()
+    priority, group, batch = pm.on_command(None, make_cmd(1, Priority.LATENCY))
+    assert priority is Priority.LATENCY
+    assert group is None
+    assert len(batch) == 1
+    assert pm.ls_bypassed == 1
+    assert pm.registry.total_queued() == 0
+
+
+def test_alg3_tc_queues_until_drain():
+    pm = TargetPriorityManager()
+    for cid in range(3):
+        _p, group, batch = pm.on_command(None, make_cmd(cid, tenant=4))
+        assert group is None and batch == []
+    assert pm.registry.get(4).queued == 3
+
+    _p, group, batch = pm.on_command(None, make_cmd(3, tenant=4, draining=True))
+    assert group is not None
+    assert group.drain_cid == 3
+    assert group.cids == [0, 1, 2, 3]
+    assert [p.sqe.cid for _c, p in batch] == [0, 1, 2, 3]
+    assert pm.registry.get(4).queued == 0
+
+
+def test_alg3_tenant_isolation():
+    """Lock-free design: tenant A's drain must not flush tenant B."""
+    pm = TargetPriorityManager()
+    pm.on_command(None, make_cmd(0, tenant=1))
+    pm.on_command(None, make_cmd(1, tenant=2))
+    _p, group, batch = pm.on_command(None, make_cmd(2, tenant=1, draining=True))
+    assert group.cids == [0, 2]
+    assert pm.registry.get(2).queued == 1  # tenant 2 untouched
+
+
+def test_alg3_same_cids_different_tenants_allowed():
+    pm = TargetPriorityManager()
+    pm.on_command(None, make_cmd(7, tenant=1))
+    pm.on_command(None, make_cmd(7, tenant=2))  # same CID, distinct tenant
+    assert pm.registry.get(1).queued == 1
+    assert pm.registry.get(2).queued == 1
+
+
+# ---------------------------------------------- Alg. 4: target completion ----
+def test_alg4_ls_completion_responds_immediately():
+    assert TargetPriorityManager.on_completion(None, cid=1, status=0) is True
+
+
+def test_alg4_tc_group_responds_only_when_all_done():
+    group = DrainGroup(tenant_id=0, drain_cid=3, cids=[0, 1, 2, 3], formed_at=0.0)
+    assert not TargetPriorityManager.on_completion(group, 1, 0)
+    assert not TargetPriorityManager.on_completion(group, 3, 0)  # drain done early!
+    assert not TargetPriorityManager.on_completion(group, 0, 0)
+    assert TargetPriorityManager.on_completion(group, 2, 0)  # last member
+
+
+def test_drain_group_out_of_order_completion_safe():
+    """Out-of-order device completions (§IV-C) never release the window early."""
+    group = DrainGroup(tenant_id=0, drain_cid=2, cids=[0, 1, 2], formed_at=0.0)
+    assert not group.mark_complete(2)  # drain finishes first
+    assert group.pending == 2
+    assert not group.complete
+
+
+def test_drain_group_propagates_worst_status():
+    group = DrainGroup(tenant_id=0, drain_cid=1, cids=[0, 1], formed_at=0.0)
+    group.mark_complete(0, status=0x80)
+    group.mark_complete(1, status=0)
+    assert group.worst_status == 0x80
+
+
+def test_drain_group_validation():
+    with pytest.raises(ProtocolError):
+        DrainGroup(tenant_id=0, drain_cid=9, cids=[0, 1], formed_at=0.0)
+    with pytest.raises(ProtocolError):
+        DrainGroup(tenant_id=0, drain_cid=1, cids=[1, 1], formed_at=0.0)
+    group = DrainGroup(tenant_id=0, drain_cid=1, cids=[0, 1], formed_at=0.0)
+    with pytest.raises(ProtocolError):
+        group.mark_complete(5)
+    group.mark_complete(0)
+    with pytest.raises(ProtocolError):
+        group.mark_complete(0)  # double completion
+
+
+# ------------------------------------------------------- tenant registry ----
+def test_registry_creates_and_limits_tenants():
+    reg = TenantRegistry(max_tenants=2)
+    reg.get_or_create(0)
+    reg.get_or_create(1)
+    assert len(reg) == 2
+    with pytest.raises(TenantError):
+        reg.get_or_create(2)
+    reg.get_or_create(1)  # existing is fine
+
+
+def test_registry_unknown_tenant():
+    reg = TenantRegistry()
+    with pytest.raises(TenantError):
+        reg.get(9)
+
+
+def test_registry_space_accounting():
+    pm = TargetPriorityManager()
+    for cid in range(10):
+        pm.on_command(None, make_cmd(cid, tenant=1))
+    assert pm.registry.total_space_bytes() == 20  # 10 CIDs x 2 bytes

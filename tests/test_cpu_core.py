@@ -1,0 +1,175 @@
+"""Tests for the CPU cost model, FIFO core, and reactor."""
+
+import pytest
+
+from repro.cpu import CpuCore, CpuCostModel, DEFAULT_COSTS, Reactor
+from repro.errors import ConfigError, SimulationError
+from repro.simcore import Environment
+
+
+# ------------------------------------------------------------------ costs ----
+def test_cost_model_validation():
+    with pytest.raises(ConfigError):
+        CpuCostModel(pdu_rx=-1.0)
+
+
+def test_baseline_per_request_aggregate():
+    costs = CpuCostModel(
+        pdu_rx=1.0, pdu_tx=1.0, cqe_build=1.0, nvme_submit=1.0, nvme_complete=1.0
+    )
+    assert costs.target_per_request_baseline == pytest.approx(5.0)
+
+
+def test_coalesced_amortises_response_cost():
+    costs = DEFAULT_COSTS
+    per_1 = costs.target_per_request_coalesced(1)
+    per_32 = costs.target_per_request_coalesced(32)
+    assert per_32 < per_1
+    assert per_32 < costs.target_per_request_baseline
+    # The window-independent floor:
+    floor = costs.pdu_rx + costs.nvme_submit + costs.nvme_complete + costs.retire
+    assert per_32 == pytest.approx(floor + (costs.cqe_build + costs.pdu_tx) / 32)
+
+
+def test_coalesced_window_validation():
+    with pytest.raises(ConfigError):
+        DEFAULT_COSTS.target_per_request_coalesced(0)
+
+
+def test_scaled_cost_model():
+    half = DEFAULT_COSTS.scaled(0.5)
+    assert half.pdu_rx == pytest.approx(DEFAULT_COSTS.pdu_rx / 2)
+    with pytest.raises(ConfigError):
+        DEFAULT_COSTS.scaled(0)
+
+
+def test_with_overrides():
+    costs = DEFAULT_COSTS.with_overrides(cqe_build=9.0)
+    assert costs.cqe_build == 9.0
+    assert costs.pdu_rx == DEFAULT_COSTS.pdu_rx
+
+
+# ------------------------------------------------------------------- core ----
+def test_core_serializes_fifo():
+    env = Environment()
+    core = CpuCore(env)
+    finish_times = []
+
+    def waiter(env, cost):
+        yield core.execute(cost)
+        finish_times.append(env.now)
+
+    env.process(waiter(env, 2.0))
+    env.process(waiter(env, 3.0))
+    env.process(waiter(env, 1.0))
+    env.run()
+    assert finish_times == [pytest.approx(2.0), pytest.approx(5.0), pytest.approx(6.0)]
+
+
+def test_core_idle_gap_then_work():
+    env = Environment()
+    core = CpuCore(env)
+
+    def proc(env):
+        yield core.execute(1.0)
+        yield env.timeout(10.0)  # idle gap
+        yield core.execute(1.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(12.0)
+
+
+def test_core_zero_cost_preserves_order():
+    env = Environment()
+    core = CpuCore(env)
+    order = []
+
+    def a(env):
+        yield core.execute(5.0)
+        order.append("a")
+
+    def b(env):
+        yield core.execute(0.0)
+        order.append("b")
+
+    env.process(a(env))
+    env.process(b(env))
+    env.run()
+    assert order == ["a", "b"]
+
+
+def test_core_negative_cost_rejected():
+    env = Environment()
+    core = CpuCore(env)
+    with pytest.raises(SimulationError):
+        core.execute(-1.0)
+    with pytest.raises(SimulationError):
+        core.charge(-1.0)
+
+
+def test_core_charge_advances_availability():
+    env = Environment()
+    core = CpuCore(env)
+    finish = core.charge(4.0)
+    assert finish == pytest.approx(4.0)
+    assert core.backlog == pytest.approx(4.0)
+    assert core.busy_time == pytest.approx(4.0)
+
+
+def test_core_utilization():
+    env = Environment()
+    core = CpuCore(env)
+
+    def proc(env):
+        yield core.execute(5.0)
+        yield env.timeout(5.0)
+
+    env.process(proc(env))
+    env.run()
+    assert core.utilization() == pytest.approx(0.5)
+
+
+def test_core_busy_breakdown():
+    env = Environment()
+    core = CpuCore(env)
+    core.charge(1.0, label="rx")
+    core.charge(2.0, label="tx")
+    core.charge(3.0, label="rx")
+    assert core.busy_breakdown() == {"rx": 4.0, "tx": 2.0}
+    assert core.task_count == 3
+
+
+# ---------------------------------------------------------------- reactor ----
+def test_reactor_attributes_work_to_pollers():
+    env = Environment()
+    reactor = Reactor(env)
+    reactor.charge("transport", 1.5)
+    reactor.charge("transport", 0.5)
+    reactor.charge("nvme", 1.0)
+    assert reactor.stats("transport").calls == 2
+    assert reactor.stats("transport").busy_us == pytest.approx(2.0)
+    assert reactor.stats("transport").mean_cost() == pytest.approx(1.0)
+    assert reactor.stats("nvme").calls == 1
+
+
+def test_reactor_unknown_poller():
+    env = Environment()
+    reactor = Reactor(env)
+    with pytest.raises(ConfigError):
+        reactor.stats("ghost")
+
+
+def test_reactor_run_event():
+    env = Environment()
+    reactor = Reactor(env)
+
+    def proc(env):
+        yield reactor.run("p", 2.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == pytest.approx(2.0)
+    assert reactor.utilization() == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Tests for result export (CSV/JSON) and per-tenant reporting."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics import read_csv, rows_for, to_row, write_csv, write_json
+
+
+@dataclass
+class FakePoint:
+    name: str
+    value: float
+    tags: list
+
+
+def test_to_row_dataclass_flattens_nested():
+    row = to_row(FakePoint("a", 1.5, ["x", "y"]))
+    assert row["name"] == "a"
+    assert row["value"] == 1.5
+    assert json.loads(row["tags"]) == ["x", "y"]
+
+
+def test_to_row_dict_passthrough():
+    assert to_row({"k": 1})["k"] == 1
+
+
+def test_to_row_plain_object():
+    class Obj:
+        def __init__(self):
+            self.a = 1
+            self.b = "x"
+
+        def method(self):  # pragma: no cover - must be excluded
+            return 0
+
+    row = to_row(Obj())
+    assert row == {"a": 1, "b": "x"}
+
+
+def test_rows_for_unifies_headers():
+    rows = rows_for([{"a": 1}, {"b": 2}])
+    assert set(rows[0]) == set(rows[1]) == {"a", "b"}
+    assert rows[0]["b"] == ""
+    assert rows_for([]) == []
+
+
+def test_write_and_read_csv(tmp_path):
+    points = [FakePoint("p1", 1.0, []), FakePoint("p2", 2.0, [3])]
+    path = write_csv(tmp_path / "out" / "points.csv", points)
+    assert path.exists()
+    back = read_csv(path)
+    assert len(back) == 2
+    assert back[0]["name"] == "p1"
+    assert float(back[1]["value"]) == 2.0
+
+
+def test_write_json(tmp_path):
+    path = write_json(tmp_path / "r.json", [FakePoint("p", 1.0, [])],
+                      meta={"seed": 1})
+    payload = json.loads(path.read_text())
+    assert payload["meta"]["seed"] == 1
+    assert payload["rows"][0]["name"] == "p"
+
+
+def test_export_empty_rejected(tmp_path):
+    with pytest.raises(ConfigError):
+        write_csv(tmp_path / "x.csv", [])
+    with pytest.raises(ConfigError):
+        write_json(tmp_path / "x.json", [])
+
+
+def test_export_figure_points_roundtrip(tmp_path):
+    """End-to-end: export real figure points and read them back."""
+    from repro.experiments import run_fig6c
+
+    points = run_fig6c(windows=(16,), total_ops=64)
+    path = write_csv(tmp_path / "fig6c.csv", points)
+    back = read_csv(path)
+    assert len(back) == len(points)
+    assert {row["label"] for row in back} == {p.label for p in points}
+
+
+def test_tenant_report():
+    from repro.cluster import Scenario, ScenarioConfig
+    from repro.workloads import tenants_for_ratio
+
+    cfg = ScenarioConfig(protocol="nvme-opf", total_ops=96, window_size=16,
+                         warmup_us=0, seed=3)
+    sc = Scenario.two_sided(cfg, tenants_for_ratio("0:2"))
+    sc.run()
+    report = sc.target_nodes[0].target.tenant_report()
+    assert len(report) == 2
+    for stats in report.values():
+        assert stats["windows_flushed"] >= 96 // 16
+        assert stats["requests_coalesced"] >= 96
+        assert stats["notifications_saved"] > 0
+        assert stats["queued_now"] == 0
+        assert stats["mean_window"] > 1

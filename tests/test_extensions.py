@@ -1,0 +1,99 @@
+"""Tests for the extensions: urgent device qpairs + device-priority target."""
+
+import pytest
+
+from repro.cluster import Scenario, ScenarioConfig
+from repro.core import DevicePriorityOpfTarget
+from repro.simcore import Environment, RandomStreams
+from repro.ssd import NvmeSsd, SsdProfile
+from repro.workloads import tenants_for_ratio
+
+
+# ------------------------------------------------- urgent device qpairs ----
+def test_urgent_qpair_preempts_dispatch_order():
+    """With one channel busy and a backlog, urgent commands run first."""
+    env = Environment()
+    ssd = NvmeSsd(
+        env,
+        profile=SsdProfile(channels=1, read_mean_us=10.0, read_cv=0.0),
+        streams=RandomStreams(1),
+    )
+    normal = ssd.create_qpair()
+    urgent = ssd.create_qpair(urgent=True)
+    order = []
+    normal.on_completion = lambda c: order.append(("normal", c.cid))
+    urgent.on_completion = lambda c: order.append(("urgent", c.cid))
+
+    def workload(env):
+        # Fill the single channel + queue a backlog of normal commands.
+        for i in range(5):
+            normal.read(1, slba=i, nlb=1)
+        yield env.timeout(1.0)  # first normal command is now on the channel
+        urgent.read(1, slba=100, nlb=1)
+
+    env.process(workload(env))
+    env.run()
+    # The urgent command finishes right after the in-service command,
+    # ahead of the four queued normal commands.
+    assert order[1] == ("urgent", 0)
+    assert [kind for kind, _ in order].count("normal") == 5
+
+
+def test_urgent_qpair_no_starvation_of_completion():
+    """Normal commands still complete when urgent traffic is present."""
+    env = Environment()
+    ssd = NvmeSsd(
+        env, profile=SsdProfile(channels=2, read_cv=0.0), streams=RandomStreams(1)
+    )
+    normal = ssd.create_qpair()
+    urgent = ssd.create_qpair(urgent=True)
+    done = {"normal": 0, "urgent": 0}
+    normal.on_completion = lambda c: done.__setitem__("normal", done["normal"] + 1)
+    urgent.on_completion = lambda c: done.__setitem__("urgent", done["urgent"] + 1)
+    for i in range(20):
+        normal.read(1, slba=i, nlb=1)
+        urgent.read(1, slba=i, nlb=1)
+    env.run()
+    assert done == {"normal": 20, "urgent": 20}
+
+
+# ------------------------------------------- device-priority oPF target ----
+def _run(target_cls=None, seed=3):
+    cfg = ScenarioConfig(
+        protocol="nvme-opf",
+        network_gbps=100,
+        op_mix="read",
+        total_ops=400,
+        window_size=32,
+        warmup_us=200,
+        seed=seed,
+        target_cls=target_cls,
+    )
+    sc = Scenario.two_sided(cfg, tenants_for_ratio("1:3"))
+    return sc, sc.run()
+
+
+def test_device_priority_target_slashes_ls_tail():
+    _, plain = _run()
+    sc, devprio = _run(target_cls=DevicePriorityOpfTarget)
+    target = sc.target_nodes[0].target
+    assert isinstance(target, DevicePriorityOpfTarget)
+    assert target.urgent_submissions > 0
+    # The urgent class removes the device queue from the LS path entirely.
+    assert devprio.ls_tail_us < plain.ls_tail_us * 0.5
+    # Throughput-critical traffic keeps most of its gains.
+    assert devprio.tc_throughput_mbps > plain.tc_throughput_mbps * 0.85
+
+
+def test_device_priority_tc_path_unchanged():
+    """TC requests still coalesce identically under the extension."""
+    _, plain = _run()
+    _, devprio = _run(target_cls=DevicePriorityOpfTarget)
+    assert devprio.coalesced_notifications == plain.coalesced_notifications
+
+
+def test_device_priority_correctness():
+    sc, devprio = _run(target_cls=DevicePriorityOpfTarget)
+    for gen in sc.generators:
+        assert gen.failed == 0
+        assert gen.inflight == 0

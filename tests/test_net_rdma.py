@@ -1,0 +1,166 @@
+"""Tests for the RDMA-like transport and its fabric/cluster integration."""
+
+import pytest
+
+from repro.errors import ConfigError, NetworkError
+from repro.net import Fabric, RdmaConfig, ROCE_OVERHEAD, WIRE_OVERHEAD
+from repro.simcore import Environment
+
+
+def make_pair(env, rate_gbps=100, queue_packets=8192, config=None):
+    fabric = Fabric(env, rate_gbps=rate_gbps, queue_packets=queue_packets)
+    fabric.add_node("a")
+    fabric.add_node("b")
+    return fabric, *fabric.connect_rdma("a", "b", config=config)
+
+
+def test_rdma_message_roundtrip():
+    env = Environment()
+    _, a, b = make_pair(env)
+    got = []
+    b.deliver = got.append
+    a.send_message({"op": "read"}, size=72)
+    env.run()
+    assert got == [{"op": "read"}]
+    assert a.stats.messages_sent == 1
+    assert b.stats.messages_delivered == 1
+
+
+def test_rdma_in_order_delivery():
+    env = Environment()
+    _, a, b = make_pair(env)
+    got = []
+    b.deliver = got.append
+    for i in range(100):
+        a.send_message(i, size=500)
+    env.run()
+    assert got == list(range(100))
+
+
+def test_rdma_large_message_segmentation():
+    env = Environment()
+    cfg = RdmaConfig(mtu=4096)
+    _, a, b = make_pair(env, config=cfg)
+    got = []
+    b.deliver = got.append
+    a.send_message("big", size=1_000_000)
+    env.run()
+    assert got == ["big"]
+    assert a.stats.frames_sent == (1_000_000 + 4095) // 4096
+
+
+def test_rdma_full_duplex():
+    env = Environment()
+    _, a, b = make_pair(env)
+    got_a, got_b = [], []
+    a.deliver = got_a.append
+    b.deliver = got_b.append
+    a.send_message("to-b", size=64)
+    b.send_message("to-a", size=64)
+    env.run()
+    assert got_a == ["to-a"] and got_b == ["to-b"]
+
+
+def test_rdma_no_ack_traffic():
+    """RDMA needs no ACK packets — half the reverse-path frames of TCP."""
+    env = Environment()
+    fabric, a, b = make_pair(env)
+    b.deliver = lambda p: None
+    for i in range(50):
+        a.send_message(i, size=4096)
+    env.run()
+    # The b->switch uplink carried nothing at all.
+    assert fabric.uplink("b").stats.enqueued == 0
+    assert a.stats.retransmits == 0
+
+
+def test_rdma_overhead_below_tcp():
+    assert ROCE_OVERHEAD < WIRE_OVERHEAD
+
+
+def test_rdma_drop_is_loud():
+    """Violating the lossless assumption must fail fast, not corrupt."""
+    env = Environment()
+    fabric, a, b = make_pair(env, queue_packets=2)
+    b.deliver = lambda p: None
+    with pytest.raises(NetworkError, match="lossless"):
+        for i in range(100):
+            a.send_message(i, size=4096)
+
+
+def test_rdma_config_validation():
+    with pytest.raises(ConfigError):
+        RdmaConfig(mtu=100)
+
+
+def test_rdma_message_size_validation():
+    env = Environment()
+    _, a, _ = make_pair(env)
+    with pytest.raises(NetworkError):
+        a.send_message("x", size=0)
+
+
+def test_fabric_rdma_requires_attached_nodes():
+    env = Environment()
+    fabric = Fabric(env)
+    fabric.add_node("a")
+    with pytest.raises(NetworkError):
+        fabric.connect_rdma("a", "ghost")
+    with pytest.raises(NetworkError):
+        fabric.connect_rdma("a", "a")
+
+
+# --------------------------------------------------------------- scenarios ----
+def test_scenario_over_rdma_both_protocols():
+    from repro.cluster import Scenario, ScenarioConfig
+    from repro.workloads import tenants_for_ratio
+
+    results = {}
+    for protocol in ("spdk", "nvme-opf"):
+        cfg = ScenarioConfig(
+            protocol=protocol, transport="rdma", network_gbps=100,
+            total_ops=300, window_size=16, warmup_us=100, seed=6,
+        )
+        sc = Scenario.two_sided(cfg, tenants_for_ratio("1:2"))
+        results[protocol] = sc.run()
+    assert results["nvme-opf"].tc_throughput_mbps > results["spdk"].tc_throughput_mbps
+    assert results["nvme-opf"].tcp_retransmits == 0
+    assert results["spdk"].completion_notifications > results["nvme-opf"].completion_notifications
+
+
+def test_rdma_shrinks_coalescing_gain():
+    """Extended result: coalescing pays most on expensive transports, so
+    the oPF/SPDK gap narrows when RDMA removes per-message CPU."""
+    from repro.cluster import Scenario, ScenarioConfig
+    from repro.workloads import tenants_for_ratio
+
+    gains = {}
+    for transport in ("tcp", "rdma"):
+        row = {}
+        for protocol in ("spdk", "nvme-opf"):
+            cfg = ScenarioConfig(
+                protocol=protocol, transport=transport, network_gbps=100,
+                total_ops=500, window_size=32, warmup_us=200, seed=4,
+            )
+            sc = Scenario.two_sided(cfg, tenants_for_ratio("1:4"))
+            row[protocol] = sc.run().tc_throughput_mbps
+        gains[transport] = row["nvme-opf"] / row["spdk"]
+    assert gains["rdma"] < gains["tcp"]
+    assert gains["rdma"] > 1.0  # coalescing still wins, just by less
+
+
+def test_transport_validation_in_config():
+    from repro.cluster import ScenarioConfig
+    from repro.errors import ConfigError
+
+    with pytest.raises(ConfigError):
+        ScenarioConfig(transport="fc")
+
+
+def test_effective_costs_scaled_for_rdma():
+    from repro.cluster import ScenarioConfig
+
+    tcp_cfg = ScenarioConfig(transport="tcp")
+    rdma_cfg = ScenarioConfig(transport="rdma")
+    assert rdma_cfg.effective_costs().pdu_rx < tcp_cfg.effective_costs().pdu_rx
+    assert rdma_cfg.effective_costs().cqe_build == tcp_cfg.effective_costs().cqe_build

@@ -1,0 +1,179 @@
+"""Tests for SQE/CQE byte-level encoding and PDU framing."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.nvmeof.capsule import (
+    CQE_SIZE,
+    Cqe,
+    OPCODE_FLUSH,
+    OPCODE_READ,
+    OPCODE_WRITE,
+    SQE_SIZE,
+    Sqe,
+)
+from repro.nvmeof.pdu import (
+    C2HDataPdu,
+    CapsuleCmdPdu,
+    CapsuleRespPdu,
+    H2CDataPdu,
+    IcReqPdu,
+    IcRespPdu,
+    decode_pdu,
+)
+
+
+# ------------------------------------------------------------------- SQE ----
+def test_sqe_roundtrip_io_fields():
+    sqe = Sqe(opcode=OPCODE_READ, cid=0x1234, nsid=7, slba=0xDEADBEEF, nlb=8)
+    data = sqe.encode()
+    assert len(data) == SQE_SIZE
+    back = Sqe.decode(data)
+    assert back == sqe
+
+
+def test_sqe_reserved_bytes_roundtrip():
+    sqe = Sqe(opcode=OPCODE_WRITE, cid=1, rsvd_priority=0b11, rsvd_tenant=201)
+    back = Sqe.decode(sqe.encode())
+    assert back.rsvd_priority == 0b11
+    assert back.rsvd_tenant == 201
+
+
+def test_sqe_reserved_bytes_at_spec_offsets():
+    """The oPF flags must live in bytes 8 and 9 (the reserved area)."""
+    sqe = Sqe(opcode=OPCODE_READ, cid=1, rsvd_priority=0xAB, rsvd_tenant=0xCD)
+    data = sqe.encode()
+    assert data[8] == 0xAB
+    assert data[9] == 0xCD
+
+
+def test_sqe_size_is_unchanged_by_flags():
+    """§IV-A: priority flags ride in reserved bits; capsule size constant."""
+    plain = Sqe(opcode=OPCODE_READ, cid=1).encode()
+    flagged = Sqe(opcode=OPCODE_READ, cid=1, rsvd_priority=3, rsvd_tenant=255).encode()
+    assert len(plain) == len(flagged) == SQE_SIZE
+
+
+def test_sqe_nlb_zero_based_encoding():
+    sqe = Sqe(opcode=OPCODE_READ, cid=1, nlb=1)
+    data = sqe.encode()
+    # CDW12 low 16 bits at offset 48: 0's-based block count.
+    assert data[48] == 0
+    assert Sqe.decode(data).nlb == 1
+
+
+def test_sqe_flush_roundtrip():
+    sqe = Sqe.for_io("flush", cid=9)
+    back = Sqe.decode(sqe.encode())
+    assert back.opcode == OPCODE_FLUSH
+    assert back.op_name == "flush"
+
+
+def test_sqe_validation():
+    with pytest.raises(ProtocolError):
+        Sqe(opcode=0x99, cid=1)
+    with pytest.raises(ProtocolError):
+        Sqe(opcode=OPCODE_READ, cid=-1)
+    with pytest.raises(ProtocolError):
+        Sqe(opcode=OPCODE_READ, cid=1, rsvd_priority=300)
+    with pytest.raises(ProtocolError):
+        Sqe(opcode=OPCODE_READ, cid=1, rsvd_tenant=256)
+    with pytest.raises(ProtocolError):
+        Sqe(opcode=OPCODE_READ, cid=1, nlb=0)
+    with pytest.raises(ProtocolError):
+        Sqe.for_io("compare", cid=1)
+    with pytest.raises(ProtocolError):
+        Sqe.decode(b"\x00" * 10)
+
+
+# ------------------------------------------------------------------- CQE ----
+def test_cqe_roundtrip():
+    cqe = Cqe(cid=0xBEEF, status=0x80, sqid=3, sqhd=17, result=42)
+    data = cqe.encode()
+    assert len(data) == CQE_SIZE
+    assert Cqe.decode(data) == cqe
+
+
+def test_cqe_ok_flag():
+    assert Cqe(cid=1, status=0).ok
+    assert not Cqe(cid=1, status=2).ok
+
+
+def test_cqe_validation():
+    with pytest.raises(ProtocolError):
+        Cqe(cid=70000)
+    with pytest.raises(ProtocolError):
+        Cqe(cid=1, status=-1)
+    with pytest.raises(ProtocolError):
+        Cqe.decode(b"\x00" * 3)
+
+
+# ------------------------------------------------------------------- PDUs ----
+def test_capsule_cmd_roundtrip_with_data():
+    sqe = Sqe(opcode=OPCODE_WRITE, cid=77, slba=100, nlb=1, rsvd_priority=1, rsvd_tenant=5)
+    pdu = CapsuleCmdPdu(sqe=sqe, data_len=4096)
+    assert pdu.wire_size == 8 + 64 + 4096
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, CapsuleCmdPdu)
+    assert back.sqe == sqe
+    assert back.data_len == 4096  # recovered from plen
+
+
+def test_capsule_resp_roundtrip_with_coalesced_flag():
+    pdu = CapsuleRespPdu(cqe=Cqe(cid=31, status=0), coalesced=True, coalesced_count=32)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, CapsuleRespPdu)
+    assert back.coalesced
+    assert back.cqe.cid == 31
+    plain = decode_pdu(CapsuleRespPdu(cqe=Cqe(cid=1)).encode())
+    assert not plain.coalesced
+
+
+def test_c2h_data_roundtrip():
+    pdu = C2HDataPdu(cid=5, data_len=4096, offset=8192, last=True)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, C2HDataPdu)
+    assert (back.cid, back.data_len, back.offset, back.last) == (5, 4096, 8192, True)
+
+
+def test_h2c_data_roundtrip():
+    pdu = H2CDataPdu(cid=6, data_len=1024, last=False)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, H2CDataPdu)
+    assert not back.last
+
+
+def test_icreq_carries_tenant_id():
+    pdu = IcReqPdu(tenant_id=42)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, IcReqPdu)
+    assert back.tenant_id == 42
+    assert pdu.wire_size == 128  # spec-fixed ICReq size
+
+
+def test_icresp_roundtrip():
+    pdu = IcRespPdu(maxh2cdata=65536)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, IcRespPdu)
+    assert back.maxh2cdata == 65536
+
+
+def test_decode_rejects_unknown_type():
+    with pytest.raises(ProtocolError):
+        decode_pdu(b"\xff" + b"\x00" * 20)
+    with pytest.raises(ProtocolError):
+        decode_pdu(b"\x04")  # truncated
+
+
+def test_data_pdus_require_payload():
+    with pytest.raises(ProtocolError):
+        C2HDataPdu(cid=1, data_len=0)
+    with pytest.raises(ProtocolError):
+        CapsuleCmdPdu(sqe=Sqe(opcode=OPCODE_READ, cid=1), data_len=-1)
+
+
+def test_completion_notification_is_small():
+    """Responses are tiny relative to 4K data — the coalescing rationale."""
+    resp = CapsuleRespPdu(cqe=Cqe(cid=1))
+    data = C2HDataPdu(cid=1, data_len=4096)
+    assert resp.wire_size < data.wire_size / 100

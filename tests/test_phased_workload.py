@@ -1,0 +1,95 @@
+"""Tests for the phased (alternating-priority) workload generator."""
+
+import pytest
+
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.core.flags import Priority
+from repro.errors import WorkloadError
+from repro.net import Fabric
+from repro.simcore import Environment, RandomStreams
+from repro.workloads import DEFAULT_PHASES, PhaseSpec, PhasedGenerator
+
+
+def make_rig(protocol="nvme-opf", queue_depth=128):
+    env = Environment()
+    streams = RandomStreams(8)
+    fabric = Fabric(env, rate_gbps=100)
+    tnode = TargetNode(env, "t0", fabric, streams, protocol=protocol)
+    inode = InitiatorNode(env, "c0", fabric)
+    initiator = inode.add_initiator(
+        "app", tnode, protocol=protocol, queue_depth=queue_depth, window_size=16
+    )
+    env.run(until=initiator.connect())
+    return env, initiator, tnode
+
+
+def test_phases_run_in_order_and_complete():
+    env, initiator, _ = make_rig()
+    phases = [
+        PhaseSpec(Priority.LATENCY, ops=4, queue_depth=1, op_mix="write"),
+        PhaseSpec(Priority.THROUGHPUT, ops=64, queue_depth=32, op_mix="read"),
+    ]
+    gen = PhasedGenerator(env, initiator, phases=phases, rounds=2)
+    env.run(until=gen.done)
+    assert len(gen.results) == 4
+    assert [r.spec.priority for r in gen.results] == [
+        Priority.LATENCY, Priority.THROUGHPUT, Priority.LATENCY, Priority.THROUGHPUT,
+    ]
+    for result in gen.results:
+        assert len(result.latencies) == result.spec.ops
+        assert result.elapsed_us > 0
+
+
+def test_phase_boundaries_do_not_interleave():
+    """A phase's requests all complete before the next phase starts."""
+    env, initiator, _ = make_rig()
+    gen = PhasedGenerator(env, initiator, rounds=1)
+    env.run(until=gen.done)
+    for earlier, later in zip(gen.results, gen.results[1:]):
+        assert later.started_at >= earlier.finished_at
+
+
+def test_control_phase_latency_beats_bulk_wait():
+    """On oPF, control requests keep low latency even though the same
+    connection runs deep throughput-critical phases around them."""
+    env, initiator, _ = make_rig()
+    gen = PhasedGenerator(env, initiator, rounds=3)
+    env.run(until=gen.done)
+    control = gen.mean_control_latency()
+    bulk = gen.results_for(Priority.THROUGHPUT)
+    bulk_mean = sum(r.mean_latency_us for r in bulk) / len(bulk)
+    assert control < bulk_mean
+    assert gen.bulk_throughput_iops() > 0
+
+
+def test_phased_works_on_baseline_runtime():
+    env, initiator, _ = make_rig(protocol="spdk")
+    gen = PhasedGenerator(env, initiator, rounds=1)
+    env.run(until=gen.done)
+    assert len(gen.results) == len(DEFAULT_PHASES)
+
+
+def test_phased_coalescing_confined_to_tc_phases():
+    env, initiator, tnode = make_rig()
+    gen = PhasedGenerator(env, initiator, rounds=2)
+    env.run(until=gen.done)
+    stats = tnode.target.stats
+    # TC phases coalesce (far fewer notifications than requests)...
+    tc_ops = sum(r.spec.ops for r in gen.results_for(Priority.THROUGHPUT))
+    assert stats.coalesced_notifications < tc_ops / 4
+    # ...while every LS control op was answered individually.
+    ls_ops = sum(r.spec.ops for r in gen.results_for(Priority.LATENCY))
+    individual = stats.completion_notifications - stats.coalesced_notifications
+    assert individual >= ls_ops
+
+
+def test_phased_validation():
+    env, initiator, _ = make_rig()
+    with pytest.raises(WorkloadError):
+        PhaseSpec(Priority.LATENCY, ops=0, queue_depth=1)
+    with pytest.raises(WorkloadError):
+        PhaseSpec(Priority.LATENCY, ops=1, queue_depth=1, op_mix="rw50")
+    with pytest.raises(WorkloadError):
+        PhasedGenerator(env, initiator, phases=[], rounds=1)
+    with pytest.raises(WorkloadError):
+        PhasedGenerator(env, initiator, rounds=0)

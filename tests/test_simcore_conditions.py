@@ -1,0 +1,131 @@
+"""Tests for condition events (AllOf / AnyOf / operator composition)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="a")
+        t2 = env.timeout(5.0, value="b")
+        result = yield env.all_of([t1, t2])
+        return (env.now, result[t1], result[t2])
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5.0, "a", "b")
+
+
+def test_any_of_returns_at_first_event():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="fast")
+        t2 = env.timeout(5.0, value="slow")
+        result = yield env.any_of([t1, t2])
+        return (env.now, t1 in result, t2 in result)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (1.0, True, False)
+
+
+def test_and_operator():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0) & env.timeout(2.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 2.0
+
+
+def test_or_operator():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.0) | env.timeout(2.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 1.0
+
+
+def test_empty_all_of_triggers_immediately():
+    env = Environment()
+
+    def proc(env):
+        yield env.all_of([])
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 0.0
+
+
+def test_condition_over_already_processed_events():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value=1)
+        t2 = env.timeout(2.0, value=2)
+        yield env.timeout(10.0)
+        result = yield env.all_of([t1, t2])
+        return (env.now, len(result))
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (10.0, 2)
+
+
+def test_condition_failure_propagates():
+    env = Environment()
+    ev = env.event()
+
+    def proc(env):
+        try:
+            yield env.all_of([ev, env.timeout(10.0)])
+        except ValueError:
+            return "failed"
+
+    def failer(env):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("nope"))
+
+    p = env.process(proc(env))
+    env.process(failer(env))
+    env.run()
+    assert p.value == "failed"
+
+
+def test_condition_value_mapping_interface():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="x")
+        t2 = env.timeout(2.0, value="y")
+        result = yield env.all_of([t1, t2])
+        assert result == {t1: "x", t2: "y"}
+        assert list(result) == [t1, t2]
+        with pytest.raises(KeyError):
+            result[env.event()]
+        return True
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value is True
+
+
+def test_cross_environment_condition_rejected():
+    env1, env2 = Environment(), Environment()
+    t1 = env1.timeout(1.0)
+    t2 = env2.timeout(1.0)
+    with pytest.raises(SimulationError):
+        env1.all_of([t1, t2])

@@ -1,0 +1,383 @@
+"""Unit tests for the discrete-event engine (environment, events, processes)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment, Event, Interrupt, Timeout
+
+
+def test_clock_starts_at_initial_time():
+    assert Environment().now == 0.0
+    assert Environment(initial_time=42.5).now == 42.5
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == 5.0
+    assert env.now == 5.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        got = yield env.timeout(1.0, value="hello")
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "hello"
+
+
+def test_events_process_in_time_order():
+    env = Environment()
+    seen = []
+
+    def proc(env, delay, tag):
+        yield env.timeout(delay)
+        seen.append(tag)
+
+    env.process(proc(env, 3.0, "c"))
+    env.process(proc(env, 1.0, "a"))
+    env.process(proc(env, 2.0, "b"))
+    env.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_fifo_tie_break_at_equal_times():
+    env = Environment()
+    seen = []
+
+    def proc(env, tag):
+        yield env.timeout(1.0)
+        seen.append(tag)
+
+    for tag in range(10):
+        env.process(proc(env, tag))
+    env.run()
+    assert seen == list(range(10))
+
+
+def test_run_until_time_stops_clock_exactly():
+    env = Environment()
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+
+    env.process(ticker(env))
+    env.run(until=5.5)
+    assert env.now == 5.5
+
+
+def test_run_until_time_excludes_events_at_later_times():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        yield env.timeout(10.0)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=5.0)
+    assert fired == []
+    env.run(until=20.0)
+    assert fired == [10.0]
+
+
+def test_run_until_past_raises():
+    env = Environment()
+    env.run(until=10.0)
+    with pytest.raises(SimulationError):
+        env.run(until=5.0)
+
+
+def test_run_until_event_returns_its_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(3.0)
+        return "done"
+
+    p = env.process(proc(env))
+    assert env.run(until=p) == "done"
+    assert env.now == 3.0
+
+
+def test_process_return_value_propagates_to_waiter():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2.0)
+        return 99
+
+    def parent(env):
+        value = yield env.process(child(env))
+        return value + 1
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == 100
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    ev = env.event()
+    woken = []
+
+    def waiter(env):
+        value = yield ev
+        woken.append((env.now, value))
+
+    def trigger(env):
+        yield env.timeout(7.0)
+        ev.succeed("payload")
+
+    env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert woken == [(7.0, "payload")]
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env):
+        try:
+            yield ev
+        except ValueError as exc:
+            return f"caught {exc}"
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        ev.fail(ValueError("boom"))
+
+    p = env.process(waiter(env))
+    env.process(trigger(env))
+    env.run()
+    assert p.value == "caught boom"
+
+
+def test_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError())
+
+
+def test_unhandled_process_crash_aborts_run():
+    env = Environment()
+
+    def crasher(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("crash")
+
+    env.process(crasher(env))
+    with pytest.raises(RuntimeError, match="crash"):
+        env.run()
+
+
+def test_watched_process_crash_is_handled_by_waiter():
+    env = Environment()
+
+    def crasher(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("crash")
+
+    def watcher(env, victim):
+        try:
+            yield victim
+        except RuntimeError:
+            return "observed"
+
+    victim = env.process(crasher(env))
+    w = env.process(watcher(env, victim))
+    env.run()
+    assert w.value == "observed"
+
+
+def test_yield_already_processed_event_resumes_immediately():
+    env = Environment()
+
+    def proc(env):
+        t = env.timeout(1.0, value="v")
+        yield env.timeout(5.0)  # t is long processed by now
+        got = yield t
+        return (env.now, got)
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == (5.0, "v")
+
+
+def test_yield_non_event_fails_process():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    p = env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+    assert not p.ok
+
+
+def test_interrupt_wakes_process_with_cause():
+    env = Environment()
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100.0)
+        except Interrupt as exc:
+            return ("interrupted", exc.cause, env.now)
+
+    def interrupter(env, victim):
+        yield env.timeout(3.0)
+        victim.interrupt("reason")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == ("interrupted", "reason", 3.0)
+
+
+def test_interrupting_finished_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def proc(env):
+        with pytest.raises(SimulationError):
+            env.active_process.interrupt()
+        yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+
+
+def test_interrupted_process_can_continue_waiting():
+    env = Environment()
+
+    def sleeper(env):
+        start = env.now
+        try:
+            yield env.timeout(100.0)
+        except Interrupt:
+            pass
+        yield env.timeout(10.0)
+        return env.now - start
+
+    def interrupter(env, victim):
+        yield env.timeout(5.0)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    env.run()
+    assert victim.value == 15.0  # 5 (interrupted) + 10
+
+
+def test_peek_and_len():
+    env = Environment()
+    assert env.peek() == float("inf")
+    env.timeout(4.0)
+    env.timeout(2.0)
+    assert env.peek() == 2.0
+    assert len(env) == 2
+
+
+def test_step_on_empty_queue_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.step()
+
+
+def test_processes_see_consistent_now():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for _ in range(3):
+            yield env.timeout(2.5)
+            times.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert times == [2.5, 5.0, 7.5]
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+    with pytest.raises(SimulationError):
+        _ = ev.ok
+
+
+def test_run_until_already_processed_event_returns_value():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+        return "v"
+
+    p = env.process(quick(env))
+    env.run()
+    # Running until an already-processed event returns immediately.
+    assert env.run(until=p) == "v"
+
+
+def test_run_until_failed_event_raises():
+    env = Environment()
+
+    def boom(env):
+        yield env.timeout(1.0)
+        raise ValueError("x")
+
+    p = env.process(boom(env))
+    with pytest.raises(ValueError):
+        env.run(until=p)
+    # And again on the already-processed failure.
+    with pytest.raises(ValueError):
+        env.run(until=p)
+
+
+def test_event_trigger_copies_outcome():
+    env = Environment()
+    source = env.event()
+    mirror = env.event()
+    source.succeed("payload")
+    mirror.trigger(source)
+    env.run()
+    assert mirror.ok and mirror.value == "payload"
+    fresh = env.event()
+    with pytest.raises(SimulationError):
+        fresh.trigger(env.event())  # untriggered source rejected
