@@ -125,6 +125,9 @@ class InitiatorNode:
         workload_hint: str = "read",
         validate_pdus: bool = False,
         transport: str = "tcp",
+        retry_policy=None,
+        recovery_rng=None,
+        events=None,
         **opf_kwargs,
     ) -> NvmeOfInitiator:
         """Create one tenant connected to ``target_node``.
@@ -154,6 +157,9 @@ class InitiatorNode:
                 window_size=window_size,
                 workload_hint=workload_hint,
                 network_gbps=self.fabric.rate_gbps,
+                retry_policy=retry_policy,
+                recovery_rng=recovery_rng,
+                events=events,
                 **opf_kwargs,
             )
         else:
@@ -165,6 +171,9 @@ class InitiatorNode:
                 queue_depth=queue_depth,
                 tenant_id=tenant_id,
                 collector=collector,
+                retry_policy=retry_policy,
+                recovery_rng=recovery_rng,
+                events=events,
             )
         if transport == "rdma":
             sock_i, sock_t = self.fabric.connect_rdma(

@@ -15,7 +15,7 @@ exclude a configurable warmup interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..config import network_tuning, preset_for_network
 from ..core.flags import Priority
@@ -33,7 +33,26 @@ from ..workloads.mixes import TenantSpec
 from ..workloads.perf import PerfConfig, PerfGenerator
 from .node import InitiatorNode, PROTOCOL_OPF, PROTOCOL_SPDK, PROTOCOLS, TargetNode
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..faults.injector import Injector
+    from ..faults.recovery import RetryPolicy
+    from ..faults.schedule import FaultSchedule
+
 _HUGE_OPS = 10**9  # effectively unbounded quota for open-ended LS tenants
+
+#: InitiatorStats counters rolled up into :attr:`ScenarioResult.recovery`.
+_RECOVERY_COUNTERS = (
+    "timeouts",
+    "retries",
+    "error_retries",
+    "exhausted",
+    "stale_responses",
+    "disconnects",
+    "reconnects",
+    "deferred_sends",
+    "resent_on_reconnect",
+    "dropped_disconnected",
+)
 
 
 @dataclass
@@ -57,6 +76,12 @@ class ScenarioConfig:
     validate_pdus: bool = False
     namespace_blocks: int = 1 << 20
     target_cls: Optional[type] = None  # override (ablations)
+    #: Fault schedule replayed against the live components (None = no chaos;
+    #: guaranteed bit-identical to a no-chaos build of the same scenario).
+    chaos: Optional["FaultSchedule"] = None
+    #: Initiator-side timeout/retry/reconnect policy.  Required for chaos
+    #: runs that sever connections or lose commands; optional otherwise.
+    retry_policy: Optional["RetryPolicy"] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -108,6 +133,17 @@ class ScenarioResult:
     tenant_switches: int
     target_cpu_utilization: float
     per_tenant: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: Completed ops that succeeded / that were reported failed (host
+    #: timeouts + device errors).  goodput + failed covers every completion:
+    #: chaos runs lose no commands, they retry or report them.
+    goodput_ops: int = 0
+    failed_ops: int = 0
+    #: Aggregated initiator recovery counters (zeros without a RetryPolicy).
+    recovery: Dict[str, int] = field(default_factory=dict)
+    #: EventCounter snapshot: fault inject/revert + recovery event counts.
+    fault_events: Dict[str, int] = field(default_factory=dict)
+    #: Canonical injector trace ("" when the scenario ran without chaos).
+    fault_trace: str = ""
 
     def summary_row(self) -> List[object]:
         return [
@@ -117,6 +153,42 @@ class ScenarioResult:
             self.tc_throughput_mbps,
             self.ls_tail_us if self.ls_tail_us is not None else float("nan"),
         ]
+
+    def metrics_digest(self) -> str:
+        """Canonical rendering of every metric in the result.
+
+        Two runs of the same seeded scenario must produce *equal* digests —
+        the determinism tests compare this string, so keep it exhaustive:
+        any nondeterminism anywhere in the stack shows up here.
+        """
+        lines = [
+            f"elapsed_us={self.elapsed_us!r}",
+            f"tc_throughput_mbps={self.tc_throughput_mbps!r}",
+            f"tc_iops={self.tc_iops!r}",
+            f"ls_tail_us={self.ls_tail_us!r}",
+            f"ls_mean_us={self.ls_mean_us!r}",
+            f"mean_latency_us={self.mean_latency_us!r}",
+            f"total_throughput_mbps={self.total_throughput_mbps!r}",
+            f"completion_notifications={self.completion_notifications}",
+            f"coalesced_notifications={self.coalesced_notifications}",
+            f"data_pdus_sent={self.data_pdus_sent}",
+            f"commands_received={self.commands_received}",
+            f"fabric_drops={self.fabric_drops}",
+            f"tcp_retransmits={self.tcp_retransmits}",
+            f"tenant_switches={self.tenant_switches}",
+            f"goodput_ops={self.goodput_ops}",
+            f"failed_ops={self.failed_ops}",
+        ]
+        for name in sorted(self.per_tenant):
+            tp, lat = self.per_tenant[name]
+            lines.append(f"tenant/{name}={tp!r},{lat!r}")
+        for key in sorted(self.recovery):
+            lines.append(f"recovery/{key}={self.recovery[key]}")
+        for key in sorted(self.fault_events):
+            lines.append(f"event/{key}={self.fault_events[key]}")
+        if self.fault_trace:
+            lines.append(self.fault_trace)
+        return "\n".join(lines)
 
 
 class Scenario:
@@ -150,6 +222,7 @@ class Scenario:
         self.initiator_nodes: Dict[str, InitiatorNode] = {}
         self.generators: List[PerfGenerator] = []
         self._tenant_assignments: List[Tuple[TenantSpec, InitiatorNode, TargetNode, int]] = []
+        self.injector: Optional["Injector"] = None
         self._ran = False
 
     # -- construction ----------------------------------------------------------------
@@ -234,6 +307,13 @@ class Scenario:
                 workload_hint="mixed" if spec.op_mix == "rw50" else spec.op_mix,
                 validate_pdus=cfg.validate_pdus,
                 transport=cfg.transport,
+                retry_policy=cfg.retry_policy,
+                recovery_rng=(
+                    self.streams.stream(f"recovery/{spec.name}")
+                    if cfg.retry_policy is not None
+                    else None
+                ),
+                events=self.collector.events if cfg.retry_policy is not None else None,
             )
             connect_events.append(initiator.connect())
             is_ls = spec.priority is Priority.LATENCY
@@ -260,6 +340,12 @@ class Scenario:
             )
             (ls_generators if is_ls else tc_generators).append(gen)
             self.generators.append(gen)
+
+        # Arm the fault injector (if any) before time advances so the
+        # schedule's clock matches the scenario clock from t=0.
+        if cfg.chaos is not None and len(cfg.chaos):
+            self.injector = self._build_injector(cfg.chaos)
+            self.injector.start()
 
         # Handshakes first, then workloads, then the measurement window.
         env.run(until=env.all_of(connect_events))
@@ -301,6 +387,42 @@ class Scenario:
         env.run()
         return self._build_result()
 
+    # -- chaos wiring ----------------------------------------------------------------------
+    def _build_injector(self, schedule: "FaultSchedule") -> "Injector":
+        """Register every live component and arm the fault schedule.
+
+        Component names faults can target: links by link name
+        (``"client0->sw"``, ``"sw->target0"``), NICs and targets by node
+        name, SSD controllers by device name (``"target0/ssd0"``), the
+        switch as ``"sw"`` (or its full fabric name), and initiators by
+        tenant name.
+        """
+        from ..faults.injector import ComponentRegistry, Injector
+
+        registry = ComponentRegistry()
+        for node in self.fabric.nodes:
+            registry.add("nic", node, self.fabric.nic(node))
+            up = self.fabric.uplink(node)
+            down = self.fabric.downlink(node)
+            registry.add("link", up.name, up)
+            registry.add("link", down.name, down)
+        registry.add("switch", "sw", self.fabric.switch)
+        registry.add("switch", self.fabric.switch.name, self.fabric.switch)
+        for tnode in self.target_nodes:
+            registry.add("target", tnode.name, tnode.target)
+            for ssd in tnode.ssds:
+                registry.add("ssd", ssd.name, ssd.controller)
+        for inode in self.initiator_nodes.values():
+            for initiator in inode.initiators:
+                registry.add("initiator", initiator.name, initiator)
+        return Injector(
+            self.env,
+            schedule,
+            registry,
+            rng=self.streams.stream("faults/loss"),
+            events=self.collector.events,
+        )
+
     # -- result assembly -------------------------------------------------------------------
     def _build_result(self) -> ScenarioResult:
         cfg = self.config
@@ -320,9 +442,16 @@ class Scenario:
         commands = sum(t.target.stats.commands_received for t in self.target_nodes)
         switches = sum(t.target.stats.tenant_switches for t in self.target_nodes)
         retransmits = 0
+        goodput_ops = 0
+        failed_ops = 0
+        recovery = {name: 0 for name in _RECOVERY_COUNTERS}
         for inode in self.initiator_nodes.values():
             for initiator in inode.initiators:
                 retransmits += initiator.transport.socket.stats.retransmits
+                goodput_ops += initiator.stats.completed - initiator.stats.failed
+                failed_ops += initiator.stats.failed
+                for name in _RECOVERY_COUNTERS:
+                    recovery[name] += getattr(initiator.stats, name)
         for tnode in self.target_nodes:
             for conn in tnode.target.connections:
                 retransmits += conn.transport.socket.stats.retransmits
@@ -350,4 +479,11 @@ class Scenario:
             tenant_switches=switches,
             target_cpu_utilization=util,
             per_tenant=per_tenant,
+            goodput_ops=goodput_ops,
+            failed_ops=failed_ops,
+            recovery=recovery,
+            fault_events=collector.events.snapshot(),
+            fault_trace=(
+                self.injector.trace_bytes().decode() if self.injector is not None else ""
+            ),
         )

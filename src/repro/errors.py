@@ -45,6 +45,14 @@ class NetworkError(ReproError):
     """Fabric errors (unknown address, link down, connection reset, ...)."""
 
 
+class FaultError(ReproError):
+    """Fault-injection misconfiguration (unknown fault kind, bad target, ...)."""
+
+
+class RetryExhaustedError(ReproError):
+    """A command failed permanently after the retry budget was spent."""
+
+
 class TenantError(ReproError):
     """Multi-tenancy management errors (duplicate tenant id, unknown tenant)."""
 

@@ -1,0 +1,56 @@
+"""Deterministic fault injection (``repro.faults``).
+
+The chaos layer for the simulator: declarative, seeded fault schedules
+(:class:`FaultSchedule`), an :class:`Injector` process that arms them
+against live components through per-layer adapters, and the
+:class:`RetryPolicy` describing the initiator-side recovery behaviour
+(timeout -> bounded retry with exponential backoff + jitter -> qpair
+reconnect).
+
+Design rules:
+
+* **Deterministic** — every stochastic choice (random schedules, loss-burst
+  coin flips, backoff jitter) draws from a named
+  :class:`~repro.simcore.rng.RandomStreams` stream, so a seed fully
+  determines the fault trace and the recovery sequence.
+* **Zero cost when off** — with no schedule armed and no retry policy set,
+  every hook collapses to the pre-fault code path; the golden-figure
+  regression test pins this.
+"""
+
+from .adapters import FAULT_HANDLERS
+from .injector import ComponentRegistry, Injector
+from .recovery import RetryPolicy
+from .schedule import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultSchedule,
+    KIND_LINK_DEGRADE,
+    KIND_LINK_DOWN,
+    KIND_LINK_LOSS,
+    KIND_NIC_DOWN,
+    KIND_QPAIR_DISCONNECT,
+    KIND_SSD_ERROR,
+    KIND_SSD_SPIKE,
+    KIND_SWITCH_PRESSURE,
+    KIND_TARGET_CRASH,
+)
+
+__all__ = [
+    "ComponentRegistry",
+    "FAULT_HANDLERS",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "Injector",
+    "KIND_LINK_DEGRADE",
+    "KIND_LINK_DOWN",
+    "KIND_LINK_LOSS",
+    "KIND_NIC_DOWN",
+    "KIND_QPAIR_DISCONNECT",
+    "KIND_SSD_ERROR",
+    "KIND_SSD_SPIKE",
+    "KIND_SWITCH_PRESSURE",
+    "KIND_TARGET_CRASH",
+    "RetryPolicy",
+]

@@ -1,0 +1,130 @@
+"""Per-layer fault adapters.
+
+Each adapter is ``handler(injector, fault) -> revert | None``: it applies
+one :class:`~repro.faults.schedule.FaultEvent` to the component the
+registry resolves for it, and returns a zero-argument callable that undoes
+the fault (scheduled by the injector after ``duration_us``), or ``None``
+for instantaneous faults.
+
+Adapters only touch the small fault hooks the components expose
+(``Link.set_up``/``set_rate_scale``/``drop_filter``, ``Nic.fault_down``,
+``NvmeController.service_scale``/``fault_status``,
+``NvmeOfTarget.crash``/``restart``,
+``NvmeOfInitiator.force_disconnect``) — no monkeypatching, so stacked or
+overlapping faults compose predictably.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from ..errors import FaultError
+from ..ssd.queues import STATUS_INTERNAL_ERROR
+from .schedule import (
+    FaultEvent,
+    KIND_LINK_DEGRADE,
+    KIND_LINK_DOWN,
+    KIND_LINK_LOSS,
+    KIND_NIC_DOWN,
+    KIND_QPAIR_DISCONNECT,
+    KIND_SSD_ERROR,
+    KIND_SSD_SPIKE,
+    KIND_SWITCH_PRESSURE,
+    KIND_TARGET_CRASH,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .injector import Injector
+
+Revert = Optional[Callable[[], None]]
+
+
+# -- network layer ---------------------------------------------------------------
+def apply_link_down(injector: "Injector", fault: FaultEvent) -> Revert:
+    link = injector.registry.get("link", fault.target)
+    link.set_up(False)
+    return lambda: link.set_up(True)
+
+
+def apply_link_degrade(injector: "Injector", fault: FaultEvent) -> Revert:
+    link = injector.registry.get("link", fault.target)
+    link.set_rate_scale(fault.param("scale", 0.5))
+    return lambda: link.set_rate_scale(1.0)
+
+
+def apply_link_loss(injector: "Injector", fault: FaultEvent) -> Revert:
+    link = injector.registry.get("link", fault.target)
+    if injector.rng is None:
+        raise FaultError("link.loss needs the injector's seeded rng")
+    p = fault.param("p", 0.1)
+    rng = injector.rng
+    previous = link.drop_filter
+    link.drop_filter = lambda _packet: bool(rng.random() < p)
+    def revert() -> None:
+        link.drop_filter = previous
+    return revert
+
+
+def apply_nic_down(injector: "Injector", fault: FaultEvent) -> Revert:
+    nic = injector.registry.get("nic", fault.target)
+    nic.fault_down = True
+    def revert() -> None:
+        nic.fault_down = False
+    return revert
+
+
+def apply_switch_pressure(injector: "Injector", fault: FaultEvent) -> Revert:
+    switch = injector.registry.get("switch", fault.target)
+    scale = fault.param("scale", 0.25)
+    ports = switch.ports()
+    saved = {node: link.queue_limit for node, link in ports.items()}
+    for node, link in ports.items():
+        link.queue_limit = max(1, int(saved[node] * scale))
+    def revert() -> None:
+        for node, link in ports.items():
+            link.queue_limit = saved[node]
+    return revert
+
+
+# -- device layer ----------------------------------------------------------------
+def apply_ssd_spike(injector: "Injector", fault: FaultEvent) -> Revert:
+    controller = injector.registry.get("ssd", fault.target)
+    controller.service_scale = fault.param("scale", 10.0)
+    def revert() -> None:
+        controller.service_scale = 1.0
+    return revert
+
+
+def apply_ssd_error(injector: "Injector", fault: FaultEvent) -> Revert:
+    controller = injector.registry.get("ssd", fault.target)
+    controller.fault_status = int(fault.param("status", STATUS_INTERNAL_ERROR))
+    def revert() -> None:
+        controller.fault_status = None
+    return revert
+
+
+# -- NVMe-oF layer ------------------------------------------------------------------
+def apply_target_crash(injector: "Injector", fault: FaultEvent) -> Revert:
+    target = injector.registry.get("target", fault.target)
+    target.crash()
+    return target.restart
+
+
+def apply_qpair_disconnect(injector: "Injector", fault: FaultEvent) -> Revert:
+    initiator = injector.registry.get("initiator", fault.target)
+    initiator.force_disconnect()
+    return None  # recovery (RetryPolicy.reconnect) re-establishes the qpair
+
+
+#: Dispatch table used by :meth:`repro.faults.injector.Injector._apply`.
+FAULT_HANDLERS: Dict[str, Callable[["Injector", FaultEvent], Revert]] = {
+    KIND_LINK_DOWN: apply_link_down,
+    KIND_LINK_DEGRADE: apply_link_degrade,
+    KIND_LINK_LOSS: apply_link_loss,
+    KIND_NIC_DOWN: apply_nic_down,
+    KIND_SWITCH_PRESSURE: apply_switch_pressure,
+    KIND_SSD_SPIKE: apply_ssd_spike,
+    KIND_SSD_ERROR: apply_ssd_error,
+    KIND_TARGET_CRASH: apply_target_crash,
+    KIND_QPAIR_DISCONNECT: apply_qpair_disconnect,
+}

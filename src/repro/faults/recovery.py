@@ -1,0 +1,74 @@
+"""Initiator-side recovery policy.
+
+The NVMe-oF initiator consumes this policy to implement the robustness
+path the chaos tests exercise: per-command timeout, bounded retry with
+exponential backoff + seeded jitter, and qpair reconnect after a
+disconnect.  The policy is pure configuration — the mechanics live in
+:class:`repro.nvmeof.initiator.NvmeOfInitiator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Timeout/retry/reconnect knobs for one initiator.
+
+    Attributes
+    ----------
+    timeout_us:
+        Per-command (per-attempt) response deadline.
+    max_retries:
+        Retry budget per command; the original send plus ``max_retries``
+        resends, after which the command completes with
+        :data:`~repro.nvmeof.qpair.STATUS_HOST_TIMEOUT`.
+    backoff_base_us / backoff_mult / backoff_cap_us:
+        Exponential backoff between attempts:
+        ``min(cap, base * mult**attempt)``.
+    jitter_frac:
+        Uniform jitter applied on top of the backoff (``* (1 + jitter*u)``
+        with ``u ~ U[0,1)`` from the initiator's seeded recovery stream);
+        0 disables jitter.
+    reconnect_delay_us:
+        Wait before the first reconnect attempt after a qpair disconnect.
+    handshake_timeout_us:
+        Deadline on each reconnect handshake before it is retried (the
+        handshake itself backs off exponentially, capped at
+        ``backoff_cap_us``).
+    retry_on_error:
+        Also retry commands that *complete* with a retryable device status
+        (transient internal errors), not just silent timeouts.
+    """
+
+    timeout_us: float = 5_000.0
+    max_retries: int = 5
+    backoff_base_us: float = 200.0
+    backoff_mult: float = 2.0
+    backoff_cap_us: float = 20_000.0
+    jitter_frac: float = 0.1
+    reconnect_delay_us: float = 500.0
+    handshake_timeout_us: float = 2_000.0
+    retry_on_error: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_us <= 0:
+            raise ConfigError("timeout_us must be positive")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_base_us < 0 or self.backoff_cap_us < self.backoff_base_us:
+            raise ConfigError("invalid backoff bounds")
+        if self.backoff_mult < 1.0:
+            raise ConfigError("backoff_mult must be >= 1")
+        if not 0.0 <= self.jitter_frac <= 1.0:
+            raise ConfigError("jitter_frac must be within [0, 1]")
+        if self.reconnect_delay_us < 0 or self.handshake_timeout_us <= 0:
+            raise ConfigError("invalid reconnect timing")
+
+    def backoff_us(self, attempt: int, jitter_u: float = 0.0) -> float:
+        """Backoff before resend number ``attempt`` (0-based), jittered."""
+        base = min(self.backoff_cap_us, self.backoff_base_us * self.backoff_mult**attempt)
+        return base * (1.0 + self.jitter_frac * jitter_u)

@@ -1,0 +1,262 @@
+"""Declarative, seeded fault schedules.
+
+A :class:`FaultSchedule` is an ordered list of :class:`FaultEvent` records —
+*when* (microseconds), *what* (a fault kind), *where* (a component name in
+the :class:`~repro.faults.injector.ComponentRegistry`), for *how long*
+(duration; 0 = instantaneous/permanent), with kind-specific parameters.
+
+Schedules are plain data: they can be built by hand with the fluent
+helpers, generated reproducibly from a seed with :meth:`FaultSchedule.random`,
+and rendered to a canonical byte encoding (:meth:`FaultSchedule.encode`) so
+tests can assert two same-seed schedules are byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from ..errors import FaultError
+from ..simcore.rng import RandomStreams
+
+# -- fault kinds ---------------------------------------------------------------
+KIND_LINK_DOWN = "link.down"  # flap: link loses every frame for duration
+KIND_LINK_DEGRADE = "link.degrade"  # line rate scaled by params["scale"]
+KIND_LINK_LOSS = "link.loss"  # burst loss: drop prob params["p"]
+KIND_NIC_DOWN = "nic.down"  # NIC drops both directions for duration
+KIND_SWITCH_PRESSURE = "switch.pressure"  # egress queues shrunk by "scale"
+KIND_SSD_SPIKE = "ssd.latency_spike"  # service times scaled by "scale"
+KIND_SSD_ERROR = "ssd.transient_error"  # commands fail with internal error
+KIND_TARGET_CRASH = "target.crash"  # target dead for duration, then restart
+KIND_QPAIR_DISCONNECT = "qpair.disconnect"  # initiator connection severed
+
+FAULT_KINDS = (
+    KIND_LINK_DOWN,
+    KIND_LINK_DEGRADE,
+    KIND_LINK_LOSS,
+    KIND_NIC_DOWN,
+    KIND_SWITCH_PRESSURE,
+    KIND_SSD_SPIKE,
+    KIND_SSD_ERROR,
+    KIND_TARGET_CRASH,
+    KIND_QPAIR_DISCONNECT,
+)
+
+Params = Tuple[Tuple[str, float], ...]
+
+
+def _freeze_params(params: dict) -> Params:
+    """Canonical (sorted, float-valued) parameter tuple."""
+    return tuple(sorted((str(k), float(v)) for k, v in params.items()))
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One timed fault."""
+
+    at_us: float
+    kind: str
+    target: str
+    duration_us: float = 0.0
+    params: Params = ()
+
+    def __post_init__(self) -> None:
+        if self.at_us < 0:
+            raise FaultError(f"fault time must be non-negative (got {self.at_us})")
+        if self.duration_us < 0:
+            raise FaultError(f"fault duration must be non-negative (got {self.duration_us})")
+        if self.kind not in FAULT_KINDS:
+            raise FaultError(f"unknown fault kind {self.kind!r}; choose from {FAULT_KINDS}")
+        if not self.target:
+            raise FaultError("fault target must be a non-empty component name")
+
+    def param(self, name: str, default: float = 0.0) -> float:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def encode_line(self) -> str:
+        """Canonical one-line rendering (used for replay signatures)."""
+        params = ",".join(f"{k}={v:.9g}" for k, v in self.params)
+        return f"{self.at_us:.6f} {self.kind} {self.target} dur={self.duration_us:.6f} [{params}]"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultEvent {self.encode_line()}>"
+
+
+class FaultSchedule:
+    """An ordered collection of fault events with fluent builders."""
+
+    def __init__(self, events: Iterable[FaultEvent] = ()) -> None:
+        self._events: List[FaultEvent] = list(events)
+
+    # -- generic / fluent builders ---------------------------------------------
+    def add(
+        self,
+        kind: str,
+        target: str,
+        at_us: float,
+        duration_us: float = 0.0,
+        **params: float,
+    ) -> "FaultSchedule":
+        self._events.append(
+            FaultEvent(
+                at_us=float(at_us),
+                kind=kind,
+                target=target,
+                duration_us=float(duration_us),
+                params=_freeze_params(params),
+            )
+        )
+        return self
+
+    def link_flap(self, link: str, at_us: float, duration_us: float) -> "FaultSchedule":
+        """Link down for ``duration_us`` then back up (one flap)."""
+        return self.add(KIND_LINK_DOWN, link, at_us, duration_us)
+
+    def link_degrade(
+        self, link: str, at_us: float, duration_us: float, scale: float
+    ) -> "FaultSchedule":
+        if scale <= 0:
+            raise FaultError("degrade scale must be positive")
+        return self.add(KIND_LINK_DEGRADE, link, at_us, duration_us, scale=scale)
+
+    def link_loss_burst(
+        self, link: str, at_us: float, duration_us: float, p: float
+    ) -> "FaultSchedule":
+        if not 0.0 < p <= 1.0:
+            raise FaultError("loss probability must be in (0, 1]")
+        return self.add(KIND_LINK_LOSS, link, at_us, duration_us, p=p)
+
+    def nic_down(self, node: str, at_us: float, duration_us: float) -> "FaultSchedule":
+        return self.add(KIND_NIC_DOWN, node, at_us, duration_us)
+
+    def switch_pressure(
+        self, switch: str, at_us: float, duration_us: float, scale: float
+    ) -> "FaultSchedule":
+        if not 0.0 < scale <= 1.0:
+            raise FaultError("queue pressure scale must be in (0, 1]")
+        return self.add(KIND_SWITCH_PRESSURE, switch, at_us, duration_us, scale=scale)
+
+    def ssd_latency_spike(
+        self, ssd: str, at_us: float, duration_us: float, scale: float
+    ) -> "FaultSchedule":
+        if scale < 1.0:
+            raise FaultError("latency spike scale must be >= 1")
+        return self.add(KIND_SSD_SPIKE, ssd, at_us, duration_us, scale=scale)
+
+    def ssd_transient_error(
+        self, ssd: str, at_us: float, duration_us: float
+    ) -> "FaultSchedule":
+        return self.add(KIND_SSD_ERROR, ssd, at_us, duration_us)
+
+    def target_crash(self, target: str, at_us: float, duration_us: float) -> "FaultSchedule":
+        """Crash at ``at_us``; restart ``duration_us`` later."""
+        if duration_us <= 0:
+            raise FaultError("target crash needs a positive outage duration")
+        return self.add(KIND_TARGET_CRASH, target, at_us, duration_us)
+
+    def qpair_disconnect(self, initiator: str, at_us: float) -> "FaultSchedule":
+        """Sever one initiator's connection (recovery reconnects it)."""
+        return self.add(KIND_QPAIR_DISCONNECT, initiator, at_us)
+
+    # -- access -----------------------------------------------------------------
+    @property
+    def events(self) -> List[FaultEvent]:
+        return list(self._events)
+
+    def ordered(self) -> List[FaultEvent]:
+        """Events in injection order: by time, ties by insertion order."""
+        order = sorted(range(len(self._events)), key=lambda i: (self._events[i].at_us, i))
+        return [self._events[i] for i in order]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self):
+        return iter(self.ordered())
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding of the ordered schedule."""
+        return "\n".join(ev.encode_line() for ev in self.ordered()).encode()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FaultSchedule {len(self._events)} events>"
+
+    # -- seeded generation --------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: Union[int, RandomStreams],
+        duration_us: float,
+        links: Sequence[str] = (),
+        nics: Sequence[str] = (),
+        switches: Sequence[str] = (),
+        ssds: Sequence[str] = (),
+        targets: Sequence[str] = (),
+        initiators: Sequence[str] = (),
+        mean_events: float = 6.0,
+        mean_fault_us: float = 500.0,
+        max_crash_fraction: float = 0.25,
+    ) -> "FaultSchedule":
+        """Generate a reproducible random schedule over the given components.
+
+        The same ``seed`` always yields a byte-identical schedule (pinned by
+        the property-based tests).  Event count is Poisson(``mean_events``),
+        times are uniform over ``[0, duration_us)``, and fault durations are
+        exponential(``mean_fault_us``), with target outages capped at
+        ``max_crash_fraction`` of the horizon so runs stay recoverable.
+        """
+        if duration_us <= 0:
+            raise FaultError("schedule horizon must be positive")
+        streams = seed if isinstance(seed, RandomStreams) else RandomStreams(int(seed))
+        rng = streams.stream("faults/schedule")
+
+        pools: List[Tuple[str, Sequence[str]]] = []
+        if links:
+            pools += [
+                (KIND_LINK_DOWN, links),
+                (KIND_LINK_DEGRADE, links),
+                (KIND_LINK_LOSS, links),
+            ]
+        if nics:
+            pools.append((KIND_NIC_DOWN, nics))
+        if switches:
+            pools.append((KIND_SWITCH_PRESSURE, switches))
+        if ssds:
+            pools += [(KIND_SSD_SPIKE, ssds), (KIND_SSD_ERROR, ssds)]
+        if targets:
+            pools.append((KIND_TARGET_CRASH, targets))
+        if initiators:
+            pools.append((KIND_QPAIR_DISCONNECT, initiators))
+        if not pools:
+            raise FaultError("random schedule needs at least one component pool")
+
+        schedule = cls()
+        n_events = int(rng.poisson(mean_events))
+        for _ in range(n_events):
+            kind, pool = pools[int(rng.integers(0, len(pools)))]
+            target = pool[int(rng.integers(0, len(pool)))]
+            at = float(rng.uniform(0.0, duration_us))
+            dur = float(rng.exponential(mean_fault_us))
+            if kind == KIND_TARGET_CRASH:
+                dur = min(max(dur, 1.0), duration_us * max_crash_fraction)
+                schedule.target_crash(target, at, dur)
+            elif kind == KIND_LINK_DOWN:
+                schedule.link_flap(target, at, dur)
+            elif kind == KIND_LINK_DEGRADE:
+                schedule.link_degrade(target, at, dur, scale=float(rng.uniform(0.1, 0.8)))
+            elif kind == KIND_LINK_LOSS:
+                schedule.link_loss_burst(target, at, dur, p=float(rng.uniform(0.05, 0.5)))
+            elif kind == KIND_NIC_DOWN:
+                schedule.nic_down(target, at, dur)
+            elif kind == KIND_SWITCH_PRESSURE:
+                schedule.switch_pressure(target, at, dur, scale=float(rng.uniform(0.1, 0.9)))
+            elif kind == KIND_SSD_SPIKE:
+                schedule.ssd_latency_spike(target, at, dur, scale=float(rng.uniform(2.0, 20.0)))
+            elif kind == KIND_SSD_ERROR:
+                schedule.ssd_transient_error(target, at, dur)
+            else:  # KIND_QPAIR_DISCONNECT
+                schedule.qpair_disconnect(target, at)
+        return schedule

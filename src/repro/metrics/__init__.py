@@ -1,6 +1,7 @@
 """Measurement: collectors, percentiles, time series, report tables."""
 
 from .collector import Collector, InitiatorSummary
+from .events import EventCounter
 from .export import read_csv, rows_for, to_row, write_csv, write_json
 from .percentile import LatencyDistribution, P2Quantile, exact_percentile
 from .report import format_table, improvement_pct, reduction_pct, speedup
@@ -9,6 +10,7 @@ from .timeseries import BinnedSeries
 __all__ = [
     "BinnedSeries",
     "Collector",
+    "EventCounter",
     "InitiatorSummary",
     "LatencyDistribution",
     "P2Quantile",

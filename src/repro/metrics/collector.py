@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.flags import Priority
 from ..units import iops_from, mbps_from
+from .events import EventCounter
 from .percentile import LatencyDistribution
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -65,6 +66,10 @@ class Collector:
         self._measure_from: float = 0.0
         self._measure_until: Optional[float] = None
         self.total_recorded = 0
+        #: Fault/recovery event counters (shared with the injector and the
+        #: initiator recovery path); not windowed — chaos accounting wants
+        #: the whole run, warmup included.
+        self.events = EventCounter()
 
     # -- measurement window ------------------------------------------------------
     def start_measuring(self) -> None:

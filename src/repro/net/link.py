@@ -29,6 +29,7 @@ class LinkStats:
     __slots__ = (
         "enqueued",
         "dropped",
+        "fault_drops",
         "delivered",
         "bytes_sent",
         "data_packets",
@@ -39,6 +40,7 @@ class LinkStats:
     def __init__(self) -> None:
         self.enqueued = 0
         self.dropped = 0
+        self.fault_drops = 0
         self.delivered = 0
         self.bytes_sent = 0
         self.data_packets = 0
@@ -72,6 +74,7 @@ class Link:
         self.env = env
         self.name = name
         self.rate = gbps_to_bytes_per_us(rate_gbps)  # bytes per microsecond
+        self._base_rate = self.rate
         self.rate_gbps = rate_gbps
         self.propagation = propagation_us
         self.queue_limit = queue_packets
@@ -83,6 +86,9 @@ class Link:
         #: Optional fault-injection hook: packets for which this returns
         #: True are dropped before enqueue (counted in ``stats.dropped``).
         self.drop_filter: Optional[Callable[[Packet], bool]] = None
+        #: Link administrative state; a downed link (flap fault) drops every
+        #: frame offered to it, exactly like a dead cable.
+        self.up = True
 
     def connect(self, sink: Callable[[Packet], None]) -> None:
         """Set the delivery callback (the far end's receive handler)."""
@@ -101,8 +107,14 @@ class Link:
         """
         if self.sink is None:
             raise ConfigError(f"link {self.name!r} has no sink connected")
+        if not self.up:
+            self.stats.dropped += 1
+            self.stats.fault_drops += 1
+            self.tracer.emit(self.env.now, self.name, "drop-linkdown", packet)
+            return False
         if self.drop_filter is not None and self.drop_filter(packet):
             self.stats.dropped += 1
+            self.stats.fault_drops += 1
             self.tracer.emit(self.env.now, self.name, "drop-injected", packet)
             return False
         if len(self._queue) >= self.queue_limit:
@@ -150,6 +162,21 @@ class Link:
     def _deliver(self, event: Event) -> None:
         self.stats.delivered += 1
         self.sink(event._value)  # type: ignore[misc]
+
+    # -- fault hooks -------------------------------------------------------------
+    def set_up(self, up: bool) -> None:
+        """Administratively raise/drop the link (flap fault adapter)."""
+        self.up = up
+
+    def set_rate_scale(self, scale: float) -> None:
+        """Degrade (or restore) the line rate to ``scale`` x nominal.
+
+        Frames already serialising keep their original transmit time; the
+        new rate applies from the next dequeue, as with real PHY renegotiation.
+        """
+        if scale <= 0:
+            raise ConfigError("rate scale must be positive")
+        self.rate = self._base_rate * scale
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time the transmitter was busy."""

@@ -27,8 +27,12 @@ class Nic:
         self.egress = egress
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
         self.rx_packets = 0
+        self.rx_dropped = 0
         self.tx_packets = 0
         self.tx_dropped = 0
+        #: Fault-injection state: a downed NIC loses every frame in both
+        #: directions (models a dead port / firmware wedge).
+        self.fault_down = False
 
     def register_connection(self, conn_id: int, handler: Callable[[Packet], None]) -> None:
         """Route ingress packets for ``conn_id`` to ``handler``."""
@@ -42,6 +46,9 @@ class Nic:
     def transmit(self, packet: Packet) -> bool:
         """Send one frame toward the switch; False if dropped at the egress queue."""
         self.tx_packets += 1
+        if self.fault_down:
+            self.tx_dropped += 1
+            return False
         ok = self.egress.send(packet)
         if not ok:
             self.tx_dropped += 1
@@ -49,6 +56,9 @@ class Nic:
 
     def receive(self, packet: Packet) -> None:
         """Ingress entry point (connected as the sink of the access link)."""
+        if self.fault_down:
+            self.rx_dropped += 1
+            return
         self.rx_packets += 1
         handler = self._handlers.get(packet.conn_id)
         if handler is None:

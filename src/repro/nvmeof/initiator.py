@@ -8,7 +8,7 @@ runtime and overrides the small set of hooks marked below.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from ..core.flags import Priority, check_tenant_id
 from ..cpu.core import CpuCore
@@ -16,15 +16,25 @@ from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
 from ..errors import ProtocolError
 from ..simcore.events import Event
 from ..ssd.latency import OP_FLUSH, OP_READ, OP_WRITE
+from ..ssd.queues import STATUS_INTERNAL_ERROR
 from ..units import BLOCK_4K
 from .capsule import Sqe
 from .pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu, IcReqPdu, IcRespPdu
-from .qpair import FabricQpair, IoRequest
-from .transport import PduTransport
+from .qpair import FabricQpair, IoRequest, STATUS_HOST_TIMEOUT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
+
+    from ..faults.recovery import RetryPolicy
     from ..metrics.collector import Collector
+    from ..metrics.events import EventCounter
     from ..simcore.engine import Environment
+
+from .transport import PduTransport
+
+#: Device statuses worth retrying: transient internal errors, not
+#: validation failures (an LBA out of range will fail identically forever).
+RETRYABLE_STATUSES = (STATUS_INTERNAL_ERROR,)
 
 
 class InitiatorStats:
@@ -38,6 +48,17 @@ class InitiatorStats:
         "data_pdus_received",
         "coalesced_responses",
         "requests_retired_by_coalescing",
+        # -- recovery-path counters (all zero when no RetryPolicy is set)
+        "timeouts",
+        "retries",
+        "error_retries",
+        "exhausted",
+        "stale_responses",
+        "disconnects",
+        "reconnects",
+        "deferred_sends",
+        "resent_on_reconnect",
+        "dropped_disconnected",
     )
 
     def __init__(self) -> None:
@@ -48,6 +69,16 @@ class InitiatorStats:
         self.data_pdus_received = 0
         self.coalesced_responses = 0
         self.requests_retired_by_coalescing = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.error_retries = 0
+        self.exhausted = 0
+        self.stale_responses = 0
+        self.disconnects = 0
+        self.reconnects = 0
+        self.deferred_sends = 0
+        self.resent_on_reconnect = 0
+        self.dropped_disconnected = 0
 
 
 class NvmeOfInitiator:
@@ -66,6 +97,9 @@ class NvmeOfInitiator:
         tenant_id: int = 0,
         block_size: int = BLOCK_4K,
         collector: Optional["Collector"] = None,
+        retry_policy: Optional["RetryPolicy"] = None,
+        recovery_rng: Optional["np.random.Generator"] = None,
+        events: Optional["EventCounter"] = None,
     ) -> None:
         self.env = env
         self.name = name
@@ -81,6 +115,17 @@ class NvmeOfInitiator:
         self._connected = False
         #: Completion hook for closed-loop workload generators.
         self.on_request_complete: Optional[Callable[[IoRequest], None]] = None
+        # -- recovery state (inert unless retry_policy is set) ----------------
+        self.retry_policy = retry_policy
+        self.recovery_rng = recovery_rng
+        self.events = events
+        #: cid -> attempt number of the send currently in flight.  Watchdog
+        #: and resend events carry (cid, attempt); a mismatch marks them
+        #: stale (timeouts are never cancelled, just ignored when stale).
+        self._attempts: Dict[int, int] = {}
+        self._ever_connected = False
+        self._reconnecting = False
+        self._reconnect_round = 0
 
     # -- connection management --------------------------------------------------
     def attach(self, transport: PduTransport) -> None:
@@ -139,7 +184,10 @@ class NvmeOfInitiator:
         callbacks so they never hit this.
         """
         if not self._connected:
-            raise ProtocolError(f"initiator {self.name!r} is not connected")
+            # With a retry policy, submissions during a reconnect window are
+            # deferred (resent wholesale once the handshake completes).
+            if self.retry_policy is None or not self._ever_connected:
+                raise ProtocolError(f"initiator {self.name!r} is not connected")
         priority = Priority.parse(priority)
         request = self.qpair.allocate(
             op=op,
@@ -154,9 +202,18 @@ class NvmeOfInitiator:
         request.submitted_at = self.env.now
         self.stats.submitted += 1
         self._send_command(request)
+        if self.retry_policy is not None:
+            self._attempts[request.cid] = 0
+            self._arm_watchdog(request.cid, 0)
         return request
 
     def _send_command(self, request: IoRequest) -> None:
+        if self.retry_policy is not None and not self._connected:
+            # Disconnected: skip the wire entirely.  The command stays
+            # outstanding and is resent after the reconnect handshake.
+            self.stats.deferred_sends += 1
+            self._count("recovery/deferred_send")
+            return
         sqe = Sqe.for_io(request.op, cid=request.cid, nsid=request.nsid,
                          slba=request.slba, nlb=request.nlb)
         self._fill_reserved(sqe, request)
@@ -175,6 +232,16 @@ class NvmeOfInitiator:
 
     # -- receive path -----------------------------------------------------------------
     def _on_pdu(self, pdu: Any) -> None:
+        if (
+            self.retry_policy is not None
+            and not self._connected
+            and not isinstance(pdu, IcRespPdu)
+        ):
+            # The qpair state is gone: late responses from the old session
+            # are dropped; their commands are recovered by resend.
+            self.stats.dropped_disconnected += 1
+            self._count("recovery/dropped_disconnected")
+            return
         if isinstance(pdu, CapsuleRespPdu):
             self.stats.completion_pdus_received += 1
             cost = self.costs.pdu_rx + self.costs.completion_process
@@ -186,13 +253,35 @@ class NvmeOfInitiator:
             self.core.charge(self.costs.pdu_rx, label="data_rx")
         elif isinstance(pdu, IcRespPdu):
             self.core.charge(self.costs.pdu_rx, label="ic_rx")
+            was_reconnect = self._reconnecting and not self._connected
             self._connected = True
+            self._ever_connected = True
             if self._connected_event is not None and not self._connected_event.triggered:
                 self._connected_event.succeed(self)
+            if was_reconnect:
+                self._complete_reconnect()
         else:
             raise ProtocolError(f"initiator received unexpected PDU {pdu!r}")
 
-    def _retire(self, cid: int, status: int) -> IoRequest:
+    def _retire(self, cid: int, status: int) -> Optional[IoRequest]:
+        policy = self.retry_policy
+        if policy is not None:
+            if self.qpair.peek(cid) is None:
+                # Already retired (a retry raced its original response, or
+                # the command was exhausted) — drop the duplicate.
+                self.stats.stale_responses += 1
+                self._count("recovery/stale_response")
+                return None
+            if (
+                policy.retry_on_error
+                and status in RETRYABLE_STATUSES
+                and self._attempts.get(cid, 0) < policy.max_retries
+            ):
+                self.stats.error_retries += 1
+                self._count("recovery/error_retry")
+                self._schedule_resend(cid, self._attempts.get(cid, 0))
+                return None
+            self._attempts.pop(cid, None)
         request = self.qpair.complete(cid, now=self.env.now, status=status)
         self.stats.completed += 1
         if status != 0:
@@ -202,6 +291,131 @@ class NvmeOfInitiator:
         if self.on_request_complete is not None:
             self.on_request_complete(request)
         return request
+
+    # -- recovery path (active only with a RetryPolicy) ---------------------------
+    def _count(self, name: str) -> None:
+        if self.events is not None:
+            self.events.incr(name)
+
+    def _arm_watchdog(self, cid: int, attempt: int) -> None:
+        """Deadline for attempt ``attempt`` of command ``cid``.
+
+        Watchdogs are never cancelled: when they fire for a command that
+        already completed (or a superseded attempt), the (cid, attempt)
+        pair no longer matches and the callback is a no-op.
+        """
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = (cid, attempt)
+        ev.callbacks.append(self._on_watchdog)
+        self.env.schedule(ev, delay=self.retry_policy.timeout_us)
+
+    def _on_watchdog(self, event: Event) -> None:
+        cid, attempt = event._value
+        if self.qpair.peek(cid) is None or self._attempts.get(cid) != attempt:
+            return  # completed, or a newer attempt owns this command
+        self.stats.timeouts += 1
+        self._count("recovery/timeout")
+        if attempt >= self.retry_policy.max_retries:
+            self._exhaust(cid)
+        else:
+            self._schedule_resend(cid, attempt)
+
+    def _schedule_resend(self, cid: int, attempt: int) -> None:
+        """Queue resend ``attempt + 1`` after the policy's jittered backoff."""
+        policy = self.retry_policy
+        nxt = attempt + 1
+        self._attempts[cid] = nxt
+        jitter_u = 0.0
+        if self.recovery_rng is not None and policy.jitter_frac > 0:
+            jitter_u = float(self.recovery_rng.random())
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = (cid, nxt)
+        ev.callbacks.append(self._on_resend)
+        self.env.schedule(ev, delay=policy.backoff_us(attempt, jitter_u))
+
+    def _on_resend(self, event: Event) -> None:
+        cid, attempt = event._value
+        request = self.qpair.peek(cid)
+        if request is None or self._attempts.get(cid) != attempt:
+            return
+        self.stats.retries += 1
+        self._count("recovery/retry")
+        self._send_command(request)  # deferred internally while disconnected
+        self._arm_watchdog(cid, attempt)
+
+    def _exhaust(self, cid: int) -> None:
+        """Give up on a command: complete it with a synthetic host status.
+
+        The command is *reported*, not silently lost — closed-loop
+        generators see the completion (and keep pumping), and callers that
+        care can :meth:`~repro.nvmeof.qpair.IoRequest.raise_for_status`.
+        """
+        self.stats.exhausted += 1
+        self._count("recovery/exhausted")
+        self._retire(cid, STATUS_HOST_TIMEOUT)
+
+    def force_disconnect(self) -> None:
+        """Sever the qpair (fault adapter hook); recovery reconnects it."""
+        if not self._connected:
+            return
+        self._connected = False
+        self.stats.disconnects += 1
+        self._count("recovery/disconnect")
+        if self.retry_policy is None:
+            return
+        self._reconnecting = True
+        self._reconnect_round = 0
+        self._schedule_reconnect(self.retry_policy.reconnect_delay_us)
+
+    def _schedule_reconnect(self, delay: float) -> None:
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: self._attempt_reconnect())
+        self.env.schedule(ev, delay=delay)
+
+    def _attempt_reconnect(self) -> None:
+        if self._connected or not self._reconnecting:
+            return
+        self._count("recovery/handshake")
+        done = self.core.execute(self.costs.pdu_tx, label="reconnect_tx")
+        done.callbacks.append(
+            lambda _ev: self.transport.send(IcReqPdu(tenant_id=self.tenant_id))
+        )
+        round_ = self._reconnect_round
+        self._reconnect_round += 1
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = round_
+        ev.callbacks.append(self._on_handshake_watchdog)
+        self.env.schedule(ev, delay=self.retry_policy.handshake_timeout_us)
+
+    def _on_handshake_watchdog(self, event: Event) -> None:
+        if self._connected or not self._reconnecting:
+            return
+        if event._value + 1 != self._reconnect_round:
+            return  # a newer handshake attempt is already pending
+        # Handshake lost (e.g. target still down): retry with exponential
+        # backoff, unbounded — a restarted target must not strand us.
+        policy = self.retry_policy
+        delay = min(
+            policy.backoff_cap_us,
+            policy.handshake_timeout_us * policy.backoff_mult ** event._value,
+        )
+        self._schedule_reconnect(delay)
+
+    def _complete_reconnect(self) -> None:
+        """Handshake done: resend every outstanding command on the new session."""
+        self.stats.reconnects += 1
+        self._count("recovery/reconnect")
+        self._reconnecting = False
+        for cid, request in self.qpair.outstanding_requests().items():
+            self._attempts[cid] = 0
+            self.stats.resent_on_reconnect += 1
+            self._send_command(request)
+            self._arm_watchdog(cid, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

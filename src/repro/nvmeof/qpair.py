@@ -12,12 +12,17 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from ..core.flags import Priority
-from ..errors import ProtocolError, QueueFullError
+from ..errors import DeviceError, ProtocolError, QueueFullError, RetryExhaustedError
 from ..ssd.latency import OP_FLUSH, VALID_OPS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.engine import Environment
     from ..simcore.events import Event
+
+#: Synthetic host-side status: the initiator gave up on the command after
+#: exhausting its retry budget (no response ever arrived).  Chosen outside
+#: the device status ranges used by :mod:`repro.ssd.queues`.
+STATUS_HOST_TIMEOUT = 0x703
 
 
 class IoRequest:
@@ -91,6 +96,25 @@ class IoRequest:
             if self.done:
                 self._event.succeed(self)
         return self._event
+
+    def raise_for_status(self) -> None:
+        """Raise a typed :class:`~repro.errors.ReproError` for failed requests.
+
+        ``None``/0 status is success; :data:`STATUS_HOST_TIMEOUT` raises
+        :class:`~repro.errors.RetryExhaustedError`; any other nonzero status
+        raises :class:`~repro.errors.DeviceError`.
+        """
+        if self.status in (None, 0):
+            return
+        if self.status == STATUS_HOST_TIMEOUT:
+            raise RetryExhaustedError(
+                f"request cid={self.cid} {self.op} slba={self.slba} abandoned "
+                f"after exhausting its retry budget"
+            )
+        raise DeviceError(
+            f"request cid={self.cid} {self.op} failed with NVMe status "
+            f"{self.status:#x}"
+        )
 
     def _mark_complete(self, now: float, status: int) -> None:
         self.completed_at = now

@@ -40,6 +40,10 @@ class TargetStats:
         "data_pdus_sent",
         "requests_completed",
         "tenant_switches",
+        "crashes",
+        "restarts",
+        "pdus_dropped_dead",
+        "pdus_lost_dead",
     )
 
     def __init__(self) -> None:
@@ -49,6 +53,10 @@ class TargetStats:
         self.data_pdus_sent = 0
         self.requests_completed = 0
         self.tenant_switches = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.pdus_dropped_dead = 0  # inbound PDUs lost while crashed
+        self.pdus_lost_dead = 0  # outbound PDUs suppressed while crashed
 
 
 class RequestContext:
@@ -87,6 +95,11 @@ class TargetConnection:
 
     def _on_pdu(self, pdu: Any) -> None:
         target = self.target
+        if not target.alive:
+            # A crashed target never sees the PDU; the initiator's command
+            # timeout (repro.faults recovery path) is what notices.
+            target.stats.pdus_dropped_dead += 1
+            return
         if isinstance(pdu, CapsuleCmdPdu):
             target.stats.commands_received += 1
             target._handle_command(self, pdu)
@@ -100,6 +113,10 @@ class TargetConnection:
             raise ProtocolError(f"target received unexpected PDU {pdu!r}")
 
     def send(self, pdu: Any) -> None:
+        if not self.target.alive:
+            # Responses racing a crash are lost with the process state.
+            self.target.stats.pdus_lost_dead += 1
+            return
         self.transport.send(pdu)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -128,6 +145,9 @@ class NvmeOfTarget:
         self.subsystem = subsystem
         self.conn_switch_cost = conn_switch_cost
         self.stats = TargetStats()
+        #: Liveness flag driven by the crash/restart fault adapter.  While
+        #: False, inbound PDUs are dropped and outbound sends suppressed.
+        self.alive = True
         self._connections: List[TargetConnection] = []
         self._last_tenant: Optional[int] = None
         # One device qpair per backing SSD, shared by all connections —
@@ -151,6 +171,27 @@ class NvmeOfTarget:
 
     def device_qpair(self, device: NvmeSsd) -> IoQpair:
         return self._device_qpairs[id(device)]
+
+    # -- crash / restart (fault adapters) -----------------------------------------
+    def crash(self) -> None:
+        """Kill the target process: all in-flight and future work is lost
+        until :meth:`restart`.  Device-side commands already executing keep
+        running (the SSD does not crash), but their completions are dropped
+        at the response path."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.stats.crashes += 1
+
+    def restart(self) -> None:
+        """Bring the target back with cold per-connection state."""
+        if self.alive:
+            return
+        self.alive = True
+        self.stats.restarts += 1
+        # Cold caches after restart: the next command always pays the
+        # connection-switch cost, matching a fresh process image.
+        self._last_tenant = None
 
     # -- command path ------------------------------------------------------------
     def _tenant_switch_cost(self, tenant_id: int) -> float:

@@ -76,7 +76,15 @@ class NvmeController:
         self._free_channels = profile.channels
         self.commands_completed = 0
         self.commands_failed = 0
+        self.commands_faulted = 0
         self.busy_time = 0.0
+        #: Fault-injection hooks.  ``service_scale`` multiplies every sampled
+        #: service time (latency-spike fault); ``fault_status`` — when not
+        #: None — fails every command with that NVMe status (transient
+        #: device-error fault).  Both default to the no-op values, so runs
+        #: without chaos are bit-identical to the pre-fault code paths.
+        self.service_scale = 1.0
+        self.fault_status: Optional[int] = None
 
     # -- queue pair management -----------------------------------------------
     def register_qpair(
@@ -131,6 +139,9 @@ class NvmeController:
 
     def _execute(self, command: NvmeCommand, qpair: QueuePair) -> None:
         status = self._validate(command)
+        if status == STATUS_SUCCESS and self.fault_status is not None:
+            status = self.fault_status
+            self.commands_faulted += 1
         if status != STATUS_SUCCESS:
             # Failed commands complete "immediately" (controller-side check).
             service = 1.0
@@ -139,6 +150,8 @@ class NvmeController:
             service = self.profile.service_time(self.rng, command.opcode, nbytes)
             if self.ftl is not None and command.opcode == OP_WRITE:
                 service += self.ftl.write_penalty(nbytes, service)
+            if self.service_scale != 1.0:
+                service *= self.service_scale
         self.busy_time += service
 
         done = Event(self.env)

@@ -118,8 +118,16 @@ class NvmeSsd:
         self.env = env
         self.profile = profile or SsdProfile()
         self.name = name
-        rng = (streams or RandomStreams(0)).stream(f"ssd/{name}")
-        ftl = Ftl(env, ftl_config, rng=rng) if ftl_config is not None else None
+        streams = streams or RandomStreams(0)
+        rng = streams.stream(f"ssd/{name}")
+        # The FTL draws from its own stream: sharing the service-time
+        # generator would let a GC-interval draw perturb every subsequent
+        # service time, breaking A/B determinism between FTL-on/off runs.
+        ftl = (
+            Ftl(env, ftl_config, rng=streams.stream(f"ssd/{name}/ftl"))
+            if ftl_config is not None
+            else None
+        )
         self.controller = NvmeController(env, self.profile, rng, ftl=ftl, name=name)
         self._namespaces: Dict[int, Namespace] = {
             1: Namespace(1, self.profile.capacity_blocks, self.profile.block_size)

@@ -22,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: NVMe status codes (subset).
 STATUS_SUCCESS = 0x0
 STATUS_INVALID_FIELD = 0x2
+STATUS_INTERNAL_ERROR = 0x6
 STATUS_LBA_OUT_OF_RANGE = 0x80
 
 

@@ -1,0 +1,68 @@
+"""Golden-figure regression: seed-era results must survive the fault layer.
+
+The pinned numbers were captured from the repo *before* the fault-injection
+subsystem landed (scaled-down Figure-7 shape: 1:2 tenant ratio, read mix,
+10 Gbps, 200 ops/TC-tenant, window 16, seed 1).  Chaos support is required
+to be zero-cost when disabled, so a scenario built without ``chaos=`` /
+``retry_policy=`` must reproduce them — within 1% for the rate/latency
+metrics, exactly for the event counts.
+"""
+
+import pytest
+
+from repro.cluster.scenario import Scenario, ScenarioConfig
+from repro.faults import RetryPolicy
+from repro.workloads.mixes import tenants_for_ratio
+
+GOLDEN = {
+    "spdk": {
+        "tc_throughput_mbps": 1068.6327721007478,
+        "ls_tail_us": 1161.6099999999867,
+        "completion_notifications": 403,
+    },
+    "nvme-opf": {
+        "tc_throughput_mbps": 1217.7481742262694,
+        "ls_tail_us": 803.2880000000087,
+        "completion_notifications": 30,
+    },
+}
+
+
+def run(protocol, retry_policy=None):
+    cfg = ScenarioConfig(
+        protocol=protocol,
+        network_gbps=10.0,
+        op_mix="read",
+        total_ops=200,
+        window_size=16,
+        seed=1,
+        retry_policy=retry_policy,
+    )
+    scenario = Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read"))
+    return scenario.run()
+
+
+@pytest.mark.parametrize("protocol", sorted(GOLDEN))
+def test_no_chaos_run_matches_seed_golden(protocol):
+    result = run(protocol)
+    golden = GOLDEN[protocol]
+    assert result.tc_throughput_mbps == pytest.approx(
+        golden["tc_throughput_mbps"], rel=0.01
+    )
+    assert result.ls_tail_us == pytest.approx(golden["ls_tail_us"], rel=0.01)
+    assert result.completion_notifications == golden["completion_notifications"]
+    # No chaos was configured: the fault/recovery books must be empty.
+    assert result.fault_trace == ""
+    assert result.fault_events == {}
+    assert result.failed_ops == 0
+
+
+def test_idle_retry_policy_does_not_move_the_numbers():
+    """Armed watchdogs with no faults: timing must be bit-identical."""
+    plain = run("spdk")
+    armed = run("spdk", retry_policy=RetryPolicy())
+    assert armed.tc_throughput_mbps == plain.tc_throughput_mbps
+    assert armed.ls_tail_us == plain.ls_tail_us
+    assert armed.completion_notifications == plain.completion_notifications
+    assert armed.recovery["timeouts"] == 0
+    assert armed.recovery["retries"] == 0

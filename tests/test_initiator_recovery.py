@@ -1,0 +1,181 @@
+"""Initiator recovery: timeout -> retry -> backoff -> reconnect -> exhaust."""
+
+import pytest
+
+from repro.errors import ConfigError, DeviceError, ProtocolError, RetryExhaustedError
+from repro.faults import RetryPolicy
+from repro.net.topology import Fabric
+from repro.nvmeof.qpair import STATUS_HOST_TIMEOUT
+from repro.cluster.node import InitiatorNode, TargetNode
+from repro.simcore.engine import Environment
+from repro.simcore.rng import RandomStreams
+from repro.ssd.queues import STATUS_INTERNAL_ERROR
+
+
+FAST_POLICY = RetryPolicy(
+    timeout_us=200.0,
+    max_retries=5,
+    backoff_base_us=20.0,
+    backoff_cap_us=200.0,
+    jitter_frac=0.1,
+    reconnect_delay_us=20.0,
+    handshake_timeout_us=100.0,
+)
+
+
+def build(policy, seed=2):
+    env = Environment()
+    streams = RandomStreams(seed)
+    fabric = Fabric(env, rate_gbps=10.0, propagation_us=1.0,
+                    queue_packets=256, switch_delay_us=0.5)
+    tnode = TargetNode(env, "target0", fabric, streams)
+    inode = InitiatorNode(env, "client0", fabric)
+    initiator = inode.add_initiator(
+        "tenant0",
+        tnode,
+        retry_policy=policy,
+        recovery_rng=streams.stream("recovery/tenant0") if policy else None,
+    )
+    env.run(until=initiator.connect())
+    return env, initiator, tnode
+
+
+# -- policy configuration ----------------------------------------------------------
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(backoff_base_us=100.0, backoff_mult=2.0,
+                             backoff_cap_us=350.0, jitter_frac=0.5)
+        assert policy.backoff_us(0) == 100.0
+        assert policy.backoff_us(1) == 200.0
+        assert policy.backoff_us(2) == 350.0  # capped, not 400
+        assert policy.backoff_us(0, jitter_u=1.0) == pytest.approx(150.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(timeout_us=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_base_us=100.0, backoff_cap_us=50.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(backoff_mult=0.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(jitter_frac=1.5)
+        with pytest.raises(ConfigError):
+            RetryPolicy(handshake_timeout_us=0.0)
+
+
+# -- timeout + retry ---------------------------------------------------------------
+class TestTimeoutRetry:
+    def test_healthy_path_never_times_out(self):
+        env, ini, _ = build(FAST_POLICY)
+        req = ini.read(0)
+        env.run()
+        assert req.done and req.status == 0
+        assert ini.stats.timeouts == 0 and ini.stats.retries == 0
+        req.raise_for_status()  # no-op on success
+
+    def test_dead_target_times_out_then_retry_succeeds_after_restart(self):
+        env, ini, tnode = build(FAST_POLICY)
+        tnode.target.crash()
+        req = ini.read(0)
+        env.run(until=env.now + 250.0)
+        assert ini.stats.timeouts >= 1
+        assert not req.done
+        tnode.target.restart()
+        env.run()
+        assert req.done and req.status == 0
+        assert ini.stats.retries >= 1
+        assert ini.stats.exhausted == 0
+
+    def test_retries_exhausted_reports_host_timeout(self):
+        policy = RetryPolicy(timeout_us=100.0, max_retries=2,
+                             backoff_base_us=10.0, jitter_frac=0.0)
+        env, ini, tnode = build(policy)
+        tnode.target.crash()
+        completions = []
+        ini.on_request_complete = completions.append
+        req = ini.read(0)
+        env.run()
+        # Reported, not lost: the command completed with a synthetic status
+        # and the workload-facing completion hook fired.
+        assert req.done and req.status == STATUS_HOST_TIMEOUT
+        assert completions == [req]
+        assert ini.stats.exhausted == 1
+        assert ini.stats.retries == 2  # the full budget was spent
+        with pytest.raises(RetryExhaustedError):
+            req.raise_for_status()
+
+    def test_raise_for_status_distinguishes_device_errors(self):
+        env, ini, tnode = build(RetryPolicy(retry_on_error=False, timeout_us=10_000.0))
+        tnode.ssds[0].controller.fault_status = STATUS_INTERNAL_ERROR
+        req = ini.read(0)
+        env.run()
+        assert req.done and req.status == STATUS_INTERNAL_ERROR
+        with pytest.raises(DeviceError):
+            req.raise_for_status()
+
+    def test_transient_device_error_is_retried(self):
+        env, ini, tnode = build(FAST_POLICY)
+        ctrl = tnode.ssds[0].controller
+        ctrl.fault_status = STATUS_INTERNAL_ERROR
+        req = ini.read(0)
+        env.run(until=env.now + 60.0)  # first completion: internal error
+        assert ini.stats.error_retries >= 1
+        assert not req.done
+        ctrl.fault_status = None  # fault clears before the resend lands
+        env.run()
+        assert req.done and req.status == 0
+
+
+# -- disconnect + reconnect --------------------------------------------------------
+class TestReconnect:
+    def test_disconnect_reconnects_and_resends_outstanding(self):
+        env, ini, _ = build(FAST_POLICY)
+        req = ini.read(0)
+        ini.force_disconnect()
+        assert not ini.connected
+        env.run()
+        assert ini.connected
+        assert ini.stats.disconnects == 1
+        assert ini.stats.reconnects == 1
+        assert ini.stats.resent_on_reconnect >= 1
+        assert req.done and req.status == 0
+
+    def test_submit_while_disconnected_is_deferred(self):
+        env, ini, _ = build(FAST_POLICY)
+        ini.force_disconnect()
+        req = ini.read(0)  # allowed: resent once the handshake completes
+        assert ini.stats.deferred_sends >= 1
+        env.run()
+        assert ini.connected
+        assert req.done and req.status == 0
+
+    def test_reconnect_backs_off_while_target_is_down(self):
+        env, ini, tnode = build(FAST_POLICY)
+        tnode.target.crash()
+        ini.force_disconnect()
+        env.run(until=env.now + 500.0)
+        assert not ini.connected  # handshakes are being lost
+        tnode.target.restart()
+        env.run()
+        assert ini.connected
+        assert ini.stats.reconnects == 1
+
+    def test_without_policy_disconnect_is_fatal_for_submit(self):
+        env, ini, _ = build(None)
+        ini.force_disconnect()
+        assert ini.stats.disconnects == 1
+        with pytest.raises(ProtocolError):
+            ini.read(0)
+
+    def test_submit_before_first_connect_raises_even_with_policy(self):
+        env = Environment()
+        streams = RandomStreams(3)
+        fabric = Fabric(env, rate_gbps=10.0, propagation_us=1.0,
+                        queue_packets=64, switch_delay_us=0.5)
+        tnode = TargetNode(env, "t", fabric, streams)
+        inode = InitiatorNode(env, "c", fabric)
+        ini = inode.add_initiator("tenant0", tnode, retry_policy=FAST_POLICY)
+        with pytest.raises(ProtocolError):
+            ini.read(0)
