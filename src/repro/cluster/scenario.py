@@ -23,6 +23,7 @@ from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
 from ..errors import ConfigError
 from ..metrics.collector import Collector
 from ..metrics.percentile import LatencyDistribution
+from ..metrics.report import jain_fairness
 from ..net.topology import Fabric
 from ..nvmeof.discovery import DiscoveryService
 from ..simcore.engine import Environment
@@ -140,6 +141,16 @@ class ScenarioResult:
     failed_ops: int = 0
     #: Aggregated initiator recovery counters (zeros without a RetryPolicy).
     recovery: Dict[str, int] = field(default_factory=dict)
+    #: oPF drain-protocol health counters (empty for non-oPF protocols; all
+    #: zero for a fault-free run).  Initiator side: premature individual
+    #: responses for queued TC CIDs, stale/replayed coalesced responses
+    #: ignored, watchdog-forced drains, window entries abandoned.  Target
+    #: side: duplicated window members dropped, resync exchanges, orphans
+    #: error-completed vs kept queued.
+    opf: Dict[str, int] = field(default_factory=dict)
+    #: Jain's fairness index over per-TC-tenant throughput (None when the
+    #: run has fewer than two TC tenants).
+    fairness_index: Optional[float] = None
     #: EventCounter snapshot: fault inject/revert + recovery event counts.
     fault_events: Dict[str, int] = field(default_factory=dict)
     #: Canonical injector trace ("" when the scenario ran without chaos).
@@ -184,6 +195,15 @@ class ScenarioResult:
             lines.append(f"tenant/{name}={tp!r},{lat!r}")
         for key in sorted(self.recovery):
             lines.append(f"recovery/{key}={self.recovery[key]}")
+        # oPF drain-protocol counters appear only when nonzero: a fault-free
+        # run's digest stays byte-identical to pre-hardening pins (the
+        # golden-regression contract), while any chaos run that exercised
+        # the drain protocol shows its counters here.  fairness_index is
+        # deliberately omitted — it is a pure function of the per-tenant
+        # lines above, so it adds no determinism coverage.
+        for key in sorted(self.opf):
+            if self.opf[key]:
+                lines.append(f"opf/{key}={self.opf[key]}")
         for key in sorted(self.fault_events):
             lines.append(f"event/{key}={self.fault_events[key]}")
         if self.fault_trace:
@@ -445,6 +465,7 @@ class Scenario:
         goodput_ops = 0
         failed_ops = 0
         recovery = {name: 0 for name in _RECOVERY_COUNTERS}
+        opf: Dict[str, int] = {}
         for inode in self.initiator_nodes.values():
             for initiator in inode.initiators:
                 retransmits += initiator.transport.socket.stats.retransmits
@@ -452,12 +473,39 @@ class Scenario:
                 failed_ops += initiator.stats.failed
                 for name in _RECOVERY_COUNTERS:
                     recovery[name] += getattr(initiator.stats, name)
+                ipm = getattr(initiator, "pm", None)
+                if ipm is not None:
+                    opf["premature_responses"] = (
+                        opf.get("premature_responses", 0) + ipm.premature_responses
+                    )
+                    opf["duplicate_drains"] = (
+                        opf.get("duplicate_drains", 0) + ipm.duplicate_drains
+                    )
+                    opf["forced_drains"] = opf.get("forced_drains", 0) + ipm.forced_drains
+                    opf["window_evicted"] = opf.get("window_evicted", 0) + ipm.evicted
         for tnode in self.target_nodes:
             for conn in tnode.target.connections:
                 retransmits += conn.transport.socket.stats.retransmits
+            tpm = getattr(tnode.target, "pm", None)
+            if tpm is not None and hasattr(tpm, "duplicate_commands"):
+                opf["duplicate_commands"] = (
+                    opf.get("duplicate_commands", 0) + tpm.duplicate_commands
+                )
+                opf["resyncs"] = opf.get("resyncs", 0) + tpm.resyncs
+                opf["orphans_completed"] = (
+                    opf.get("orphans_completed", 0) + tpm.orphans_completed
+                )
+                opf["orphans_requeued"] = opf.get("orphans_requeued", 0) + tpm.orphans_requeued
         util = (
             max(t.core.utilization() for t in self.target_nodes) if self.target_nodes else 0.0
         )
+        tc_names = [
+            spec.name
+            for spec, _inode, _tnode, _nsid in self._tenant_assignments
+            if spec.priority is Priority.THROUGHPUT
+        ]
+        tc_shares = [per_tenant[name][0] for name in tc_names if name in per_tenant]
+        fairness = jain_fairness(tc_shares) if len(tc_shares) >= 2 else None
 
         return ScenarioResult(
             protocol=cfg.protocol,
@@ -482,6 +530,8 @@ class Scenario:
             goodput_ops=goodput_ops,
             failed_ops=failed_ops,
             recovery=recovery,
+            opf=opf,
+            fairness_index=fairness,
             fault_events=collector.events.snapshot(),
             fault_trace=(
                 self.injector.trace_bytes().decode() if self.injector is not None else ""

@@ -15,7 +15,7 @@ Public pieces:
 """
 
 from .ablation import SharedQueueOpfTarget
-from .cid_queue import CidQueue, ENTRY_BYTES
+from .cid_queue import CidQueue, ENTRY_BYTES, RETIRED_MEMORY, cid_le
 from .extensions import DevicePriorityOpfTarget
 from .coalescing import CoalescingStats, DrainGroup
 from .flags import (
@@ -33,6 +33,7 @@ from .target import OpfTarget
 from .tenant import TenantContext, TenantRegistry
 from .window import (
     DEFAULT_WINDOW,
+    DrainWatchdog,
     DynamicWindowController,
     MAX_WINDOW,
     MIN_WINDOW,
@@ -47,8 +48,10 @@ __all__ = [
     "DEFAULT_WINDOW",
     "DevicePriorityOpfTarget",
     "DrainGroup",
+    "DrainWatchdog",
     "DynamicWindowController",
     "ENTRY_BYTES",
+    "RETIRED_MEMORY",
     "FLAG_DRAINING",
     "FLAG_THROUGHPUT_CRITICAL",
     "InitiatorPriorityManager",
@@ -64,6 +67,7 @@ __all__ = [
     "TenantRegistry",
     "WindowSample",
     "check_tenant_id",
+    "cid_le",
     "clamp_to_queue_depth",
     "pack_flags",
     "select_window",

@@ -6,6 +6,15 @@ independent of I/O size and the queue survives out-of-order device
 completions: a drain response naming CID *d* retires, in submission order,
 every CID queued before *d* (Alg. 2's walk), regardless of the order the
 device completed them in.
+
+Fault tolerance (the chaos-safe drain protocol): the queue remembers
+recently retired CIDs in a bounded ring so a *replayed* drain response — a
+retried drain command produces a second coalesced completion — is
+recognised as a stale duplicate (counted, ignored) instead of a protocol
+violation.  A CID that was never queued at all is still an error.  The
+queue also carries a drain **epoch**, bumped on every qpair reconnect, so
+the resync exchange can name which incarnation of the window state the two
+Priority Managers agree on.
 """
 
 from __future__ import annotations
@@ -19,18 +28,53 @@ from ..errors import ProtocolError, QueueFullError
 #: tests that verify the zero-copy claim.
 ENTRY_BYTES = 2
 
+#: How many retired CIDs the duplicate-detection ring remembers.  CIDs are
+#: reused only after 64K allocations, so anything comfortably larger than a
+#: queue depth distinguishes "stale duplicate" from "never existed" for as
+#: long as a replayed response can plausibly stay in flight.
+RETIRED_MEMORY = 4096
+
+
+def cid_le(a: int, b: int) -> bool:
+    """Serial-number ``a <= b`` over the 16-bit CID space (RFC 1982 style).
+
+    CIDs are allocated by a wrapping counter, so the resync exchange needs
+    an ordering that survives the wrap: ``a`` precedes ``b`` when the
+    forward distance from ``a`` to ``b`` is shorter than half the space.
+    """
+    return ((b - a) & 0xFFFF) < 0x8000
+
 
 class CidQueue:
     """FIFO ring of command identifiers with drain-through semantics."""
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self, capacity: Optional[int] = None, retired_memory: int = RETIRED_MEMORY
+    ) -> None:
         if capacity is not None and capacity < 1:
             raise ProtocolError("capacity must be >= 1")
+        if retired_memory < 1:
+            raise ProtocolError("retired_memory must be >= 1")
         self.capacity = capacity
         self._queue: Deque[int] = deque()
         self._members: Set[int] = set()
+        # Bounded memory of retired CIDs: a set for O(1) lookup plus a ring
+        # that evicts the oldest entry once the memory is full.
+        self._retired: Set[int] = set()
+        self._retired_ring: Deque[int] = deque(maxlen=retired_memory)
         self.total_pushed = 0
         self.total_drained = 0
+        #: CIDs abandoned by the host (retry budget exhausted) — removed
+        #: without a drain response, counted separately from drains.
+        self.total_evicted = 0
+        #: Stale duplicate drain responses recognised and ignored.
+        self.duplicate_drains = 0
+        #: Reconnect incarnation of this queue's window state; bumped by
+        #: :meth:`advance_epoch` on every qpair disconnect.
+        self.epoch = 0
+        #: The most recently retired CID in queue (= submission) order, or
+        #: None before the first drain.  This is the resync high-water mark.
+        self.last_retired: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -55,6 +99,10 @@ class CidQueue:
             raise ProtocolError(f"CID {cid} already queued")
         if self.is_full:
             raise QueueFullError(f"CID queue full (capacity {self.capacity})")
+        # A reused CID starts a fresh life: forget the retired record so a
+        # genuine drain for the new incarnation is not mistaken for a stale
+        # duplicate of the old one.
+        self._retired.discard(cid)
         self._queue.append(cid)
         self._members.add(cid)
         self.total_pushed += 1
@@ -64,19 +112,37 @@ class CidQueue:
             raise ProtocolError("CID queue is empty")
         return self._queue[0]
 
+    def was_retired(self, cid: int) -> bool:
+        """Whether ``cid`` was retired recently enough to still be remembered."""
+        return cid in self._retired
+
+    def _remember_retired(self, cid: int) -> None:
+        if len(self._retired_ring) == self._retired_ring.maxlen:
+            self._retired.discard(self._retired_ring[0])
+        self._retired_ring.append(cid)
+        self._retired.add(cid)
+        self.last_retired = cid
+
     def drain_through(self, cid: int) -> List[int]:
         """Pop every CID up to and including ``cid``, in queue order.
 
         This is Alg. 2: the initiator walks its pending queue marking each
-        request complete until it reaches the drain response's CID.  Raises
-        if ``cid`` was never queued (a protocol violation).
+        request complete until it reaches the drain response's CID.  A CID
+        that was already retired is a *stale duplicate* — a retried drain
+        command legitimately produces a second coalesced response — and is
+        counted and ignored (empty walk).  A CID that was never queued at
+        all remains a protocol violation and raises.
         """
         if cid not in self._members:
+            if cid in self._retired:
+                self.duplicate_drains += 1
+                return []
             raise ProtocolError(f"drain for unknown CID {cid}")
         drained: List[int] = []
         while self._queue:
             head = self._queue.popleft()
             self._members.discard(head)
+            self._remember_retired(head)
             drained.append(head)
             if head == cid:
                 break
@@ -93,18 +159,46 @@ class CidQueue:
             raise ProtocolError(f"cannot remove unknown CID {cid}")
         self._queue.remove(cid)
         self._members.discard(cid)
+        self._remember_retired(cid)
         self.total_drained += 1
+
+    def evict(self, cid: int) -> None:
+        """Abandon one CID without a drain response (host-side give-up).
+
+        The retry path uses this when a command exhausts its budget: the
+        qpair completes it with a synthetic status, so the window must stop
+        waiting for it.  The CID is remembered as retired — a drain response
+        that later names it (or walks past where it sat) stays consistent.
+        """
+        if cid not in self._members:
+            raise ProtocolError(f"cannot evict unknown CID {cid}")
+        self._queue.remove(cid)
+        self._members.discard(cid)
+        self._remember_retired(cid)
+        self.total_evicted += 1
 
     def drain_all(self) -> List[int]:
         """Pop everything (target-side full flush)."""
         drained = list(self._queue)
         self._queue.clear()
         self._members.clear()
+        for cid in drained:
+            self._remember_retired(cid)
         self.total_drained += len(drained)
         return drained
+
+    def advance_epoch(self) -> int:
+        """Start a new drain epoch (qpair reconnect); returns the new epoch.
+
+        Queue contents survive — the commands are still outstanding and
+        will be resent on the new session — but responses formed against
+        the old session are recognisable as such by the resync exchange.
+        """
+        self.epoch += 1
+        return self.epoch
 
     def as_list(self) -> List[int]:
         return list(self._queue)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<CidQueue len={len(self._queue)} cap={self.capacity}>"
+        return f"<CidQueue len={len(self._queue)} cap={self.capacity} epoch={self.epoch}>"

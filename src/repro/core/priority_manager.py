@@ -5,14 +5,24 @@ counting, drain-response queue walks); the target-side manager implements
 Algorithms 3 and 4 (per-tenant queuing, latency-sensitive bypass, drain
 execution, coalesced completion).  Keeping them free of any transport or
 CPU-model dependency makes the paper's pseudocode directly unit-testable.
+
+Both managers are hardened for chaos: the paper's pseudocode assumes every
+window member and drain response arrives exactly once, which a retried
+command or a lost/replayed coalesced completion violates.  The initiator
+manager re-stamps resends idempotently (:meth:`InitiatorPriorityManager
+.restamp`), tolerates duplicated coalesced responses (counted, never
+double-retired), and evicts abandoned commands; the target manager ignores
+duplicate window members and reconciles orphaned per-tenant entries when a
+qpair reconnects with a new drain epoch (:meth:`TargetPriorityManager
+.resync`).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from ..errors import ConfigError, ProtocolError
-from .cid_queue import CidQueue
+from .cid_queue import CidQueue, cid_le
 from .coalescing import CoalescingStats, DrainGroup
 from .flags import Priority, pack_flags, unpack_flags
 from .tenant import TenantContext, TenantRegistry
@@ -45,11 +55,33 @@ class InitiatorPriorityManager:
         #: Individual responses received for *queued* TC CIDs — only a
         #: broken (shared-queue) target produces these (§IV-A).
         self.premature_responses = 0
+        #: Drain markers issued by the watchdog after a lost drain response.
+        self.forced_drains = 0
+        #: Commands abandoned (retry budget exhausted) and removed from the
+        #: window without a drain response.
+        self.evicted = 0
+        #: Drain CIDs sent but not yet answered by a coalesced response —
+        #: what the drain watchdog keeps deadlines on.
+        self._outstanding_drains: Set[int] = set()
 
     @property
     def pending_undrained(self) -> int:
         """TC requests sent since the last draining flag."""
         return self._since_drain
+
+    @property
+    def epoch(self) -> int:
+        """Current drain epoch (bumped on every qpair reconnect)."""
+        return self.cid_queue.epoch
+
+    @property
+    def duplicate_drains(self) -> int:
+        """Stale/replayed coalesced responses recognised and ignored."""
+        return self.cid_queue.duplicate_drains
+
+    @property
+    def outstanding_drains(self) -> Set[int]:
+        return set(self._outstanding_drains)
 
     def before_send(self, sqe: "Sqe", priority: Priority, tenant_id: int) -> bool:
         """Alg. 1: stamp flags/tenant into the SQE; returns drain decision."""
@@ -61,22 +93,66 @@ class InitiatorPriorityManager:
                 draining = True
                 self._since_drain = 0
                 self.drains_sent += 1
+                self._outstanding_drains.add(sqe.cid)
         sqe.rsvd_priority = pack_flags(priority, draining)
         sqe.rsvd_tenant = tenant_id
         return draining
 
-    def force_drain_flags(self, sqe: "Sqe", tenant_id: int) -> None:
-        """Stamp an explicit drain marker (flush command carrying DRAINING)."""
+    def restamp(self, sqe: "Sqe", priority: Priority, draining: bool, tenant_id: int) -> bool:
+        """Re-stamp a *resend* of an already-registered command (Alg. 1 bis).
+
+        A retried command must carry exactly the flags of its original send
+        — the same priority/tenant bits and, crucially, the same draining
+        decision — without re-entering the CID queue or advancing the
+        window counter: the command is already a member of its window, and
+        double-registration is precisely the corruption a replayed send
+        would otherwise cause.  Returns the preserved draining bit.
+        """
+        if priority is Priority.THROUGHPUT and sqe.cid not in self.cid_queue:
+            raise ProtocolError(
+                f"restamp for TC CID {sqe.cid} that is not window-registered"
+            )
+        sqe.rsvd_priority = pack_flags(priority, draining)
+        sqe.rsvd_tenant = tenant_id
+        if draining:
+            # The resend supersedes the (possibly lost) original drain; the
+            # watchdog re-arms on it.
+            self._outstanding_drains.add(sqe.cid)
+        return draining
+
+    def is_registered(self, cid: int) -> bool:
+        """Whether ``cid`` is currently a member of the pending window."""
+        return cid in self.cid_queue
+
+    def force_drain_flags(self, sqe: "Sqe", tenant_id: int, forced: bool = False) -> None:
+        """Stamp an explicit drain marker (flush command carrying DRAINING).
+
+        ``forced`` marks a watchdog-issued recovery marker (a drain
+        response was lost); it is counted separately from scheduled drains.
+        """
         self.cid_queue.push(sqe.cid)
         sqe.rsvd_priority = pack_flags(Priority.THROUGHPUT, draining=True)
         sqe.rsvd_tenant = tenant_id
         self._since_drain = 0
         self.drains_sent += 1
+        if forced:
+            self.forced_drains += 1
+        self._outstanding_drains.add(sqe.cid)
 
     def on_coalesced_response(self, drain_cid: int) -> List[int]:
-        """Alg. 2: retire, in order, every queued CID through ``drain_cid``."""
+        """Alg. 2: retire, in order, every queued CID through ``drain_cid``.
+
+        Duplicate-tolerant: a stale or replayed coalesced response (its
+        drain CID already retired) returns an empty walk and is counted in
+        :attr:`duplicate_drains` — it never double-retires.
+        """
+        self._outstanding_drains.discard(drain_cid)
         retired = self.cid_queue.drain_through(drain_cid)
         self.coalesced_retired += len(retired)
+        # The walk may have retired *other* outstanding drain CIDs queued
+        # before this one (their responses were lost); stop watching them.
+        if self._outstanding_drains:
+            self._outstanding_drains.difference_update(retired)
         return retired
 
     def on_individual_response(self, cid: int) -> bool:
@@ -97,6 +173,27 @@ class InitiatorPriorityManager:
             return True
         return False
 
+    def evict(self, cid: int) -> None:
+        """Drop an abandoned command from the window (retry budget spent).
+
+        The qpair completes it with a synthetic host status; the window
+        must stop waiting for it or the next drain walk would stall on a
+        CID that can never be answered.
+        """
+        self.cid_queue.evict(cid)
+        self._outstanding_drains.discard(cid)
+        self.evicted += 1
+
+    def on_reconnect(self) -> Tuple[int, Optional[int]]:
+        """Start a new drain epoch after a qpair disconnect.
+
+        Returns ``(epoch, last_retired)`` — the resync announcement the
+        reconnect handshake carries to the target.  Window membership is
+        kept: the outstanding commands will be resent (and re-stamped) on
+        the new session.
+        """
+        return self.cid_queue.advance_epoch(), self.cid_queue.last_retired
+
 
 class TargetPriorityManager:
     """Target-side PM: Alg. 3 (ready to execute) and Alg. 4 (completion)."""
@@ -105,6 +202,19 @@ class TargetPriorityManager:
         self.registry = registry or TenantRegistry()
         self.stats = CoalescingStats()
         self.ls_bypassed = 0
+        #: Window members delivered more than once (command retries whose
+        #: original is still queued) — ignored, never double-queued.
+        self.duplicate_commands = 0
+        #: Resync exchanges performed (qpair reconnects observed).
+        self.resyncs = 0
+        #: Orphaned per-tenant entries the initiator had already retired:
+        #: error-completed locally (dropped) during resync.
+        self.orphans_completed = 0
+        #: Orphaned entries still live at the initiator: kept queued for
+        #: the next drain (the resent copies arrive as duplicates).
+        self.orphans_requeued = 0
+        #: Per-tenant drain epoch last announced by the initiator.
+        self._epochs: Dict[int, int] = {}
 
     @staticmethod
     def classify(sqe: "Sqe") -> Tuple[Priority, bool, int]:
@@ -122,6 +232,12 @@ class TargetPriorityManager:
         * latency-sensitive -> ``(LATENCY, None, [this command])`` — bypass.
         * TC without drain -> ``(THROUGHPUT, None, [])`` — queued, nothing runs.
         * TC with drain    -> ``(THROUGHPUT, group, whole window)`` — flush.
+
+        Duplicate-tolerant: a retried command whose original is still
+        queued is counted and ignored — window membership stays
+        exactly-once.  (A retry of an already-*executed* command is
+        indistinguishable from a new one and is re-queued; the initiator's
+        duplicate-response handling absorbs the second completion.)
         """
         priority, draining, tenant_id = self.classify(pdu.sqe)
         if priority is Priority.LATENCY:
@@ -129,6 +245,12 @@ class TargetPriorityManager:
             return priority, None, [(conn, pdu)]
 
         tenant = self.registry.get_or_create(tenant_id)
+        if pdu.sqe.cid in tenant.cid_queue:
+            # Retried window member; the original still holds its slot.  A
+            # queued member never carries DRAINING (a draining command
+            # flushes on arrival), so dropping the duplicate loses nothing.
+            self.duplicate_commands += 1
+            return priority, None, []
         tenant.enqueue(conn, pdu)
         if not draining:
             return priority, None, []
@@ -144,6 +266,48 @@ class TargetPriorityManager:
         self.stats.record_flush(group.size)
         tenant.stats.record_flush(group.size)
         return priority, group, batch
+
+    def resync(
+        self, tenant_id: int, epoch: int, last_retired: Optional[int]
+    ) -> List[Tuple["TargetConnection", "CapsuleCmdPdu"]]:
+        """Window reconciliation on qpair reconnect (the resync exchange).
+
+        The initiator announces its drain epoch and highest-retired CID in
+        the reconnect handshake.  A *higher* epoch than last seen means the
+        old session's window state may be inconsistent: every queued entry
+        the initiator has already retired (CID ``<=`` the high-water mark in
+        serial order) is an orphan — it was covered by a drain walk whose
+        flush this target never executed against the entry (e.g. the
+        original was delayed past its window's marker) — and is
+        error-completed locally, since the initiator no longer waits for
+        it.  Entries above the mark stay queued for the next drain; the
+        resent copies will arrive as duplicates and be ignored.
+
+        Returns the orphaned entries that were dropped (for accounting or
+        error completion by the caller).  A stale or repeated epoch is a
+        duplicated handshake and reconciles nothing.
+        """
+        seen = self._epochs.get(tenant_id)
+        if seen is None:
+            self._epochs[tenant_id] = epoch
+            if epoch == 0:
+                return []  # initial handshake: nothing to reconcile
+        elif epoch <= seen:
+            return []  # duplicated/stale handshake
+        else:
+            self._epochs[tenant_id] = epoch
+        self.resyncs += 1
+        if tenant_id not in self.registry:
+            return []
+        tenant = self.registry.get(tenant_id)
+        orphans: List[Tuple["TargetConnection", "CapsuleCmdPdu"]] = []
+        if last_retired is not None:
+            for cid in tenant.cid_queue.as_list():
+                if cid_le(cid, last_retired):
+                    orphans.append(tenant.discard(cid))
+        self.orphans_completed += len(orphans)
+        self.orphans_requeued += tenant.queued
+        return orphans
 
     @staticmethod
     def on_completion(group: Optional[DrainGroup], cid: int, status: int) -> bool:

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, List, Optional, Tuple
 
 from ..nvmeof.capsule import Cqe
-from ..nvmeof.pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu
+from ..nvmeof.pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu, IcReqPdu
 from ..nvmeof.target import NvmeOfTarget, RequestContext, TargetConnection
 from ..ssd.latency import OP_FLUSH, OP_READ
 from .coalescing import DrainGroup
@@ -47,6 +47,24 @@ class OpfTarget(NvmeOfTarget):
     # -- tenant identity comes from the SQE's reserved byte -------------------------
     def _resolve_tenant(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> int:
         return pdu.sqe.rsvd_tenant
+
+    # -- window resync on reconnect -----------------------------------------------
+    def _handle_icreq(self, conn: TargetConnection, pdu: "IcReqPdu") -> None:
+        """Reconcile the tenant's window before answering the handshake.
+
+        A reconnect handshake carries a bumped drain epoch plus the
+        initiator's highest-retired CID; queued entries at or below that
+        mark are orphans — already retired at the initiator — and are
+        dropped here (the PM accounts them), while entries above it stay
+        queued for the next drain.  The initial epoch-0 handshake and
+        duplicated handshakes reconcile nothing.
+        """
+        self.pm.resync(
+            pdu.tenant_id,
+            pdu.resync_epoch,
+            pdu.last_retired if pdu.has_last_retired else None,
+        )
+        super()._handle_icreq(conn, pdu)
 
     # -- Alg. 3: command arrival -----------------------------------------------------
     def _handle_command(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:

@@ -56,6 +56,11 @@ class TenantContext:
             out.append(self.pending_cmds.pop(cid))
         return out
 
+    def discard(self, cid: int) -> Tuple["TargetConnection", "CapsuleCmdPdu"]:
+        """Drop one queued entry out of order (resync orphan reconciliation)."""
+        self.cid_queue.evict(cid)
+        return self.pending_cmds.pop(cid)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<TenantContext id={self.tenant_id} queued={self.queued}>"
 

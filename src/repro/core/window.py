@@ -10,14 +10,24 @@ before a drain is ever sent).
 :class:`DynamicWindowController` implements the runtime adjustment the
 paper sketches: after each drain completion the initiator may grow or
 shrink the window based on observed drain round-trip throughput.
+
+:class:`DrainWatchdog` is the window's liveness guarantee under chaos: a
+drain whose coalesced response is lost on the fabric would otherwise leave
+its members queued forever (the window counter is already reset, so no new
+draining flag is due).  The watchdog keeps one deadline per outstanding
+drain CID and fires a callback — the initiator answers with a force-drain,
+a flush carrying the DRAINING flag — so the window can never wedge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from ..errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
 
 #: Paper-reported sweet spot on fast fabrics (Fig. 6a).
 DEFAULT_WINDOW = 32
@@ -73,6 +83,62 @@ def select_window(
         base = min(base, 16)
 
     return clamp_to_queue_depth(base, queue_depth)
+
+
+class DrainWatchdog:
+    """Per-drain response deadlines (lost-coalesced-completion recovery).
+
+    ``arm(cid)`` starts (or restarts) a deadline for one outstanding drain;
+    ``disarm(cid)`` cancels it when the coalesced response arrives.  Like
+    the command watchdogs in :mod:`repro.nvmeof.initiator`, deadline events
+    are never cancelled: each carries ``(cid, token)`` and no-ops when a
+    disarm or a re-arm superseded it, keeping the hot path allocation-free.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        timeout_us: float,
+        on_lost: Callable[[int], None],
+    ) -> None:
+        if timeout_us <= 0:
+            raise ConfigError("drain watchdog timeout must be positive")
+        self.env = env
+        self.timeout_us = timeout_us
+        self.on_lost = on_lost
+        self._armed: Dict[int, int] = {}
+        self._token = 0
+        self.expired = 0
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._armed)
+
+    def arm(self, drain_cid: int) -> None:
+        """Start (or restart, superseding the old deadline) one drain's clock."""
+        from ..simcore.events import Event
+
+        self._token += 1
+        self._armed[drain_cid] = self._token
+        ev = Event(self.env)
+        ev._ok = True
+        ev._value = (drain_cid, self._token)
+        ev.callbacks.append(self._on_deadline)
+        self.env.schedule(ev, delay=self.timeout_us)
+
+    def disarm(self, drain_cid: int) -> None:
+        self._armed.pop(drain_cid, None)
+
+    def disarm_all(self) -> None:
+        self._armed.clear()
+
+    def _on_deadline(self, event) -> None:
+        drain_cid, token = event._value
+        if self._armed.get(drain_cid) != token:
+            return  # answered, or a newer attempt owns this drain
+        del self._armed[drain_cid]
+        self.expired += 1
+        self.on_lost(drain_cid)
 
 
 @dataclass

@@ -10,6 +10,7 @@ disconnect.  The policy is pure configuration — the mechanics live in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from ..errors import ConfigError
 
@@ -42,6 +43,12 @@ class RetryPolicy:
     retry_on_error:
         Also retry commands that *complete* with a retryable device status
         (transient internal errors), not just silent timeouts.
+    drain_timeout_us:
+        Deadline on each outstanding *drain* (NVMe-oPF only): when the
+        coalesced response for a draining flag fails to arrive, the
+        initiator's drain watchdog force-drains the window with a flush
+        carrying DRAINING so it can never wedge.  ``None`` (default)
+        inherits ``timeout_us``.
     """
 
     timeout_us: float = 5_000.0
@@ -53,10 +60,18 @@ class RetryPolicy:
     reconnect_delay_us: float = 500.0
     handshake_timeout_us: float = 2_000.0
     retry_on_error: bool = True
+    drain_timeout_us: Optional[float] = None
+
+    @property
+    def effective_drain_timeout_us(self) -> float:
+        """The drain watchdog deadline (defaults to the command timeout)."""
+        return self.timeout_us if self.drain_timeout_us is None else self.drain_timeout_us
 
     def __post_init__(self) -> None:
         if self.timeout_us <= 0:
             raise ConfigError("timeout_us must be positive")
+        if self.drain_timeout_us is not None and self.drain_timeout_us <= 0:
+            raise ConfigError("drain_timeout_us must be positive when set")
         if self.max_retries < 0:
             raise ConfigError("max_retries must be non-negative")
         if self.backoff_base_us < 0 or self.backoff_cap_us < self.backoff_base_us:

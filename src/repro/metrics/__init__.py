@@ -4,19 +4,28 @@ from .collector import Collector, InitiatorSummary
 from .events import EventCounter
 from .export import read_csv, rows_for, to_row, write_csv, write_json
 from .percentile import LatencyDistribution, P2Quantile, exact_percentile
-from .report import format_table, improvement_pct, reduction_pct, speedup
+from .report import (
+    FairnessIndex,
+    format_table,
+    improvement_pct,
+    jain_fairness,
+    reduction_pct,
+    speedup,
+)
 from .timeseries import BinnedSeries
 
 __all__ = [
     "BinnedSeries",
     "Collector",
     "EventCounter",
+    "FairnessIndex",
     "InitiatorSummary",
     "LatencyDistribution",
     "P2Quantile",
     "exact_percentile",
     "format_table",
     "improvement_pct",
+    "jain_fairness",
     "read_csv",
     "reduction_pct",
     "rows_for",

@@ -10,6 +10,43 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over per-tenant allocations.
+
+    ``(sum x)^2 / (n * sum x^2)`` — 1.0 when every tenant gets the same
+    share, approaching ``1/n`` as one tenant monopolises.  An empty or
+    all-zero allocation is perfectly fair by convention (nobody got
+    anything, equally).
+    """
+    xs = [float(v) for v in values]
+    if not xs:
+        return 1.0
+    total = sum(xs)
+    squares = sum(x * x for x in xs)
+    if squares == 0.0:
+        return 1.0
+    return (total * total) / (len(xs) * squares)
+
+
+class FairnessIndex:
+    """Accumulator form of :func:`jain_fairness` (one ``add`` per tenant)."""
+
+    def __init__(self) -> None:
+        self._values: List[float] = []
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"allocation must be non-negative, got {value}")
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def index(self) -> float:
+        return jain_fairness(self._values)
+
+
 def format_table(
     headers: Sequence[str],
     rows: Iterable[Sequence[object]],

@@ -140,10 +140,12 @@ class NvmeOfInitiator:
             return self._connected_event
         self._connected_event = Event(self.env)
         done = self.core.execute(self.costs.pdu_tx, label="ic_tx")
-        done.callbacks.append(
-            lambda _ev: self.transport.send(IcReqPdu(tenant_id=self.tenant_id))
-        )
+        done.callbacks.append(lambda _ev: self.transport.send(self._make_icreq()))
         return self._connected_event
+
+    def _make_icreq(self) -> IcReqPdu:
+        """Build the handshake PDU (oPF overrides to announce resync state)."""
+        return IcReqPdu(tenant_id=self.tenant_id)
 
     @property
     def connected(self) -> bool:
@@ -381,9 +383,7 @@ class NvmeOfInitiator:
             return
         self._count("recovery/handshake")
         done = self.core.execute(self.costs.pdu_tx, label="reconnect_tx")
-        done.callbacks.append(
-            lambda _ev: self.transport.send(IcReqPdu(tenant_id=self.tenant_id))
-        )
+        done.callbacks.append(lambda _ev: self.transport.send(self._make_icreq()))
         round_ = self._reconnect_round
         self._reconnect_round += 1
         ev = Event(self.env)

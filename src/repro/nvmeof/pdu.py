@@ -54,6 +54,15 @@ class IcReqPdu:
     #: oPF extension: announced tenant id (baseline leaves 0); carried in a
     #: reserved field of the ICReq, so the PDU size is unchanged.
     tenant_id: int = 0
+    #: oPF resync extension (also reserved bytes): the initiator's drain
+    #: epoch, bumped on every qpair disconnect.  A reconnect handshake with
+    #: a higher epoch triggers window reconciliation at the target.
+    resync_epoch: int = 0
+    #: Highest-retired CID (queue order) of the announcing epoch; only
+    #: meaningful when ``has_last_retired`` is set (a u16 cannot spare a
+    #: sentinel — every value is a valid CID).
+    last_retired: int = 0
+    has_last_retired: bool = False
 
     HLEN = 128  # fixed by spec
 
@@ -62,15 +71,35 @@ class IcReqPdu:
         return self.HLEN
 
     def encode(self) -> bytes:
-        body = struct.pack("<HHBB", self.pfv, self.maxr2t, self.hpda, self.tenant_id)
+        flags = 0x01 if self.has_last_retired else 0
+        body = struct.pack(
+            "<HHBBHHB",
+            self.pfv,
+            self.maxr2t,
+            self.hpda,
+            self.tenant_id,
+            self.resync_epoch & 0xFFFF,
+            self.last_retired & 0xFFFF,
+            flags,
+        )
         pad = self.HLEN - CH_SIZE - len(body)
         return _encode_ch(PDU_TYPE_ICREQ, 0, self.HLEN, self.HLEN) + body + b"\x00" * pad
 
     @classmethod
     def decode(cls, data: bytes) -> "IcReqPdu":
         _check_type(data, PDU_TYPE_ICREQ)
-        pfv, maxr2t, hpda, tenant = struct.unpack_from("<HHBB", data, CH_SIZE)
-        return cls(pfv=pfv, maxr2t=maxr2t, hpda=hpda, tenant_id=tenant)
+        pfv, maxr2t, hpda, tenant, epoch, last, flags = struct.unpack_from(
+            "<HHBBHHB", data, CH_SIZE
+        )
+        return cls(
+            pfv=pfv,
+            maxr2t=maxr2t,
+            hpda=hpda,
+            tenant_id=tenant,
+            resync_epoch=epoch,
+            last_retired=last,
+            has_last_retired=bool(flags & 0x01),
+        )
 
 
 @dataclass

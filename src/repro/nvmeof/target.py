@@ -104,11 +104,7 @@ class TargetConnection:
             target.stats.commands_received += 1
             target._handle_command(self, pdu)
         elif isinstance(pdu, IcReqPdu):
-            self.tenant_id = pdu.tenant_id
-            done = target.core.execute(
-                target.costs.pdu_rx + target.costs.pdu_tx, label="ic"
-            )
-            done.callbacks.append(lambda _ev: self.transport.send(IcRespPdu()))
+            target._handle_icreq(self, pdu)
         else:
             raise ProtocolError(f"target received unexpected PDU {pdu!r}")
 
@@ -192,6 +188,17 @@ class NvmeOfTarget:
         # Cold caches after restart: the next command always pays the
         # connection-switch cost, matching a fresh process image.
         self._last_tenant = None
+
+    # -- connection handshake -----------------------------------------------------
+    def _handle_icreq(self, conn: TargetConnection, pdu: IcReqPdu) -> None:
+        """IC handshake (initial connect and qpair reconnect alike).
+
+        The oPF target overrides this to run the window-resync exchange
+        before answering; the baseline has no per-tenant window state.
+        """
+        conn.tenant_id = pdu.tenant_id
+        done = self.core.execute(self.costs.pdu_rx + self.costs.pdu_tx, label="ic")
+        done.callbacks.append(lambda _ev: conn.transport.send(IcRespPdu()))
 
     # -- command path ------------------------------------------------------------
     def _tenant_switch_cost(self, tenant_id: int) -> float:

@@ -1,0 +1,455 @@
+"""Chaos-safe drain protocol: property & unit tests for both Priority Managers.
+
+The paper's Algorithms 1-4 assume every window member and every coalesced
+response arrives exactly once.  These tests drive randomized interleavings
+of send / retry / duplicated-response / dropped-response against the
+initiator and target Priority Managers (no transport, no CPU model) and
+assert the hardened protocol's core invariants:
+
+* every throughput-critical CID is retired **exactly once**;
+* the un-drained window never exceeds ``window_size`` pending members;
+* stale/replayed coalesced responses are counted and ignored — never
+  double-retired, never an error;
+* a truly unknown drain CID is still a protocol violation;
+* resync reconciliation drops exactly the orphans at or below the
+  announced high-water mark, exactly once per new epoch.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cid_queue import CidQueue, RETIRED_MEMORY, cid_le
+from repro.core.flags import Priority, unpack_flags
+from repro.core.priority_manager import InitiatorPriorityManager, TargetPriorityManager
+from repro.core.window import DrainWatchdog
+from repro.errors import ConfigError, ProtocolError
+from repro.metrics.report import FairnessIndex, jain_fairness
+from repro.nvmeof.capsule import Sqe
+from repro.nvmeof.pdu import CapsuleCmdPdu, IcReqPdu
+from repro.simcore.engine import Environment
+from repro.ssd.latency import OP_FLUSH, OP_READ
+
+
+# -- serial-number CID ordering -----------------------------------------------------
+class TestCidLe:
+    def test_plain_ordering(self):
+        assert cid_le(1, 2) and cid_le(5, 5) and not cid_le(3, 2)
+
+    def test_survives_the_16bit_wrap(self):
+        assert cid_le(0xFFFE, 0x0001)  # 3 steps forward across the wrap
+        assert not cid_le(0x0001, 0xFFFE)
+
+    def test_half_space_boundary(self):
+        assert cid_le(0, 0x7FFF)
+        assert not cid_le(0, 0x8000)
+
+
+# -- duplicate-tolerant drain_through (satellite: stale vs unknown) ----------------
+class TestCidQueueDuplicates:
+    def test_stale_duplicate_is_counted_and_ignored(self):
+        q = CidQueue()
+        for cid in (1, 2, 3):
+            q.push(cid)
+        assert q.drain_through(3) == [1, 2, 3]
+        assert q.drain_through(3) == []  # replayed response: empty walk
+        assert q.drain_through(2) == []  # older replay: also stale
+        assert q.duplicate_drains == 2
+        assert q.last_retired == 3
+
+    def test_unknown_cid_still_raises(self):
+        q = CidQueue()
+        q.push(1)
+        with pytest.raises(ProtocolError, match="unknown CID 99"):
+            q.drain_through(99)
+        assert q.duplicate_drains == 0
+
+    def test_reused_cid_starts_a_fresh_life(self):
+        q = CidQueue()
+        q.push(7)
+        q.drain_through(7)
+        assert q.was_retired(7)
+        q.push(7)  # 16-bit wrap reuse: must not be treated as duplicate
+        assert not q.was_retired(7)
+        assert q.drain_through(7) == [7]
+
+    def test_retired_memory_is_bounded(self):
+        q = CidQueue(retired_memory=4)
+        for cid in range(6):
+            q.push(cid)
+            q.drain_through(cid)
+        # Only the 4 newest retirements are remembered.
+        assert not q.was_retired(0) and not q.was_retired(1)
+        assert all(q.was_retired(c) for c in (2, 3, 4, 5))
+        with pytest.raises(ProtocolError):
+            q.drain_through(0)  # forgotten: indistinguishable from unknown
+
+    def test_default_memory_covers_many_queue_depths(self):
+        assert RETIRED_MEMORY >= 4096
+
+    def test_evict_remembers_and_counts(self):
+        q = CidQueue()
+        for cid in (1, 2, 3):
+            q.push(cid)
+        q.evict(2)
+        assert q.total_evicted == 1 and 2 not in q
+        assert q.drain_through(2) == []  # late response for the evicted CID
+        assert q.duplicate_drains == 1
+        assert q.drain_through(3) == [1, 3]
+        with pytest.raises(ProtocolError):
+            q.evict(99)
+
+    def test_epoch_advance_keeps_members(self):
+        q = CidQueue()
+        q.push(1)
+        assert q.advance_epoch() == 1
+        assert q.advance_epoch() == 2
+        assert list(q.as_list()) == [1]
+
+
+# -- drain watchdog -----------------------------------------------------------------
+class TestDrainWatchdog:
+    def test_expiry_fires_on_lost(self):
+        env = Environment()
+        lost = []
+        wd = DrainWatchdog(env, 10.0, lost.append)
+        wd.arm(5)
+        env.run(until=11.0)
+        assert lost == [5] and wd.expired == 1 and wd.outstanding == 0
+
+    def test_disarm_makes_the_deadline_a_noop(self):
+        env = Environment()
+        lost = []
+        wd = DrainWatchdog(env, 10.0, lost.append)
+        wd.arm(5)
+        wd.disarm(5)
+        env.run(until=20.0)
+        assert lost == [] and wd.expired == 0
+
+    def test_rearm_supersedes_the_old_deadline(self):
+        env = Environment()
+        lost = []
+        wd = DrainWatchdog(env, 10.0, lost.append)
+        wd.arm(5)
+        env.run(until=6.0)
+        wd.arm(5)  # restart the clock at t=6
+        env.run(until=11.0)
+        assert lost == []  # the t=10 deadline was superseded
+        env.run(until=17.0)
+        assert lost == [5]
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ConfigError):
+            DrainWatchdog(Environment(), 0.0, lambda cid: None)
+
+
+# -- initiator PM: retry-aware stamping ---------------------------------------------
+def _sqe(cid, op=OP_READ):
+    return Sqe.for_io(op, cid=cid)
+
+
+class TestRestamp:
+    def test_restamp_preserves_flags_without_reregistering(self):
+        pm = InitiatorPriorityManager(window_size=4, queue_depth=16)
+        sqe = _sqe(1)
+        draining = pm.before_send(sqe, Priority.THROUGHPUT, tenant_id=3)
+        before = (len(pm.cid_queue), pm.pending_undrained)
+        resend = _sqe(1)
+        assert pm.restamp(resend, Priority.THROUGHPUT, draining, tenant_id=3) == draining
+        assert (len(pm.cid_queue), pm.pending_undrained) == before
+        assert resend.rsvd_priority == sqe.rsvd_priority
+        assert resend.rsvd_tenant == 3
+
+    def test_restamp_of_unregistered_tc_cid_raises(self):
+        pm = InitiatorPriorityManager(window_size=4, queue_depth=16)
+        with pytest.raises(ProtocolError, match="not window-registered"):
+            pm.restamp(_sqe(9), Priority.THROUGHPUT, False, tenant_id=0)
+
+    def test_restamped_drain_rejoins_outstanding(self):
+        pm = InitiatorPriorityManager(window_size=2, queue_depth=16)
+        pm.before_send(_sqe(1), Priority.THROUGHPUT, 0)
+        assert pm.before_send(_sqe(2), Priority.THROUGHPUT, 0)  # drain
+        assert pm.outstanding_drains == {2}
+        pm.on_coalesced_response(2)
+        assert pm.outstanding_drains == set()
+        pm.before_send(_sqe(3), Priority.THROUGHPUT, 0)
+        pm.before_send(_sqe(4), Priority.THROUGHPUT, 0)
+        pm.restamp(_sqe(4), Priority.THROUGHPUT, True, 0)
+        assert 4 in pm.outstanding_drains
+
+    def test_forced_drain_counted_separately(self):
+        pm = InitiatorPriorityManager(window_size=8, queue_depth=16)
+        pm.before_send(_sqe(1), Priority.THROUGHPUT, 0)
+        marker = _sqe(2, op=OP_FLUSH)
+        pm.force_drain_flags(marker, tenant_id=0, forced=True)
+        assert pm.forced_drains == 1 and pm.drains_sent == 1
+        priority, draining = unpack_flags(marker.rsvd_priority)
+        assert priority is Priority.THROUGHPUT and draining
+        assert pm.on_coalesced_response(2) == [1, 2]
+        # Replay of the same response: ignored, counted.
+        assert pm.on_coalesced_response(2) == []
+        assert pm.duplicate_drains == 1
+
+    def test_on_reconnect_announces_epoch_and_highwater(self):
+        pm = InitiatorPriorityManager(window_size=2, queue_depth=16)
+        pm.before_send(_sqe(1), Priority.THROUGHPUT, 0)
+        pm.before_send(_sqe(2), Priority.THROUGHPUT, 0)
+        pm.on_coalesced_response(2)
+        assert pm.on_reconnect() == (1, 2)
+        assert pm.on_reconnect() == (2, 2)
+
+
+# -- target PM: duplicate members + resync ------------------------------------------
+class _FakeConn:
+    tenant_id = None
+
+
+def _cmd(cid, tenant=0, draining=False, op=OP_READ):
+    sqe = _sqe(cid, op=op)
+    # Stamp via the real flag codec to keep the wire format honest.
+    from repro.core.flags import pack_flags
+
+    sqe.rsvd_priority = pack_flags(Priority.THROUGHPUT, draining)
+    sqe.rsvd_tenant = tenant
+    return CapsuleCmdPdu(sqe=sqe)
+
+
+class TestTargetDuplicates:
+    def test_duplicate_queued_member_is_dropped(self):
+        pm = TargetPriorityManager()
+        conn = _FakeConn()
+        pm.on_command(conn, _cmd(1))
+        _p, group, batch = pm.on_command(conn, _cmd(1))  # retry of a queued member
+        assert group is None and batch == []
+        assert pm.duplicate_commands == 1
+        _p, group, batch = pm.on_command(conn, _cmd(2, draining=True))
+        assert [p.sqe.cid for _c, p in batch] == [1, 2]
+
+    def test_retry_of_executed_member_requeues(self):
+        pm = TargetPriorityManager()
+        conn = _FakeConn()
+        pm.on_command(conn, _cmd(1))
+        pm.on_command(conn, _cmd(2, draining=True))  # flushes {1, 2}
+        _p, group, batch = pm.on_command(conn, _cmd(1))  # late resend of 1
+        assert group is None and batch == [] and pm.duplicate_commands == 0
+        _p, group, batch = pm.on_command(conn, _cmd(3, draining=True))
+        assert [p.sqe.cid for _c, p in batch] == [1, 3]
+
+
+class TestResync:
+    def _loaded_pm(self):
+        pm = TargetPriorityManager()
+        conn = _FakeConn()
+        for cid in (10, 11, 12):
+            pm.on_command(conn, _cmd(cid, tenant=1))
+        return pm
+
+    def test_initial_epoch_zero_reconciles_nothing(self):
+        pm = self._loaded_pm()
+        assert pm.resync(1, epoch=0, last_retired=None) == []
+        assert pm.resyncs == 0
+
+    def test_higher_epoch_drops_orphans_below_highwater(self):
+        pm = self._loaded_pm()
+        pm.resync(1, epoch=0, last_retired=None)
+        orphans = pm.resync(1, epoch=1, last_retired=11)
+        assert [p.sqe.cid for _c, p in orphans] == [10, 11]
+        assert pm.resyncs == 1
+        assert pm.orphans_completed == 2 and pm.orphans_requeued == 1
+        tenant = pm.registry.get(1)
+        assert tenant.cid_queue.as_list() == [12]
+
+    def test_stale_or_repeated_epoch_is_a_noop(self):
+        pm = self._loaded_pm()
+        pm.resync(1, epoch=2, last_retired=10)
+        queued = pm.registry.get(1).cid_queue.as_list()
+        assert pm.resync(1, epoch=2, last_retired=12) == []  # duplicated handshake
+        assert pm.resync(1, epoch=1, last_retired=12) == []  # stale
+        assert pm.registry.get(1).cid_queue.as_list() == queued
+        assert pm.resyncs == 1
+
+    def test_resync_for_unknown_tenant_is_safe(self):
+        pm = TargetPriorityManager()
+        pm.resync(5, epoch=0, last_retired=None)
+        assert pm.resync(5, epoch=3, last_retired=100) == []
+        assert pm.resyncs == 1
+
+    def test_highwater_uses_serial_ordering_across_the_wrap(self):
+        pm = TargetPriorityManager()
+        conn = _FakeConn()
+        for cid in (0xFFFE, 0xFFFF, 0x0001):
+            pm.on_command(conn, _cmd(cid, tenant=2))
+        pm.resync(2, epoch=0, last_retired=None)
+        orphans = pm.resync(2, epoch=1, last_retired=0xFFFF)
+        assert [p.sqe.cid for _c, p in orphans] == [0xFFFE, 0xFFFF]
+        assert pm.registry.get(2).cid_queue.as_list() == [0x0001]
+
+
+# -- handshake PDU carries the resync state -----------------------------------------
+class TestIcReqResyncRoundtrip:
+    def test_epoch_and_highwater_survive_the_wire(self):
+        pdu = IcReqPdu(tenant_id=3, resync_epoch=7, last_retired=0xBEEF,
+                       has_last_retired=True)
+        decoded = IcReqPdu.decode(pdu.encode())
+        assert decoded.tenant_id == 3
+        assert decoded.resync_epoch == 7
+        assert decoded.last_retired == 0xBEEF and decoded.has_last_retired
+        assert pdu.wire_size == IcReqPdu.HLEN  # size unchanged: reserved bytes
+
+    def test_absent_highwater_is_distinguishable_from_cid_zero(self):
+        fresh = IcReqPdu.decode(IcReqPdu(tenant_id=1).encode())
+        assert not fresh.has_last_retired and fresh.resync_epoch == 0
+
+
+# -- fairness index ------------------------------------------------------------------
+class TestFairness:
+    def test_equal_shares_are_perfectly_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_monopoly_approaches_one_over_n(self):
+        assert jain_fairness([10.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_fair_by_convention(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_accumulator_matches_function(self):
+        fi = FairnessIndex()
+        for v in (1.0, 2.0, 3.0):
+            fi.add(v)
+        assert len(fi) == 3
+        assert fi.index == pytest.approx(jain_fairness([1.0, 2.0, 3.0]))
+        with pytest.raises(ValueError):
+            fi.add(-1.0)
+
+
+# -- the property: randomized chaos interleavings ------------------------------------
+ACTIONS = st.lists(
+    st.one_of(
+        st.just(("send",)),
+        st.tuples(st.just("retry"), st.integers(min_value=0, max_value=10 ** 6)),
+        st.just(("deliver",)),
+        st.just(("drop",)),
+        st.tuples(st.just("dup"), st.integers(min_value=0, max_value=10 ** 6)),
+        st.just(("force",)),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+
+class _Harness:
+    """Couples the two PMs through an unreliable 'wire' the test controls."""
+
+    def __init__(self, window_size):
+        self.window = window_size
+        self.ipm = InitiatorPriorityManager(window_size=window_size, queue_depth=4096)
+        self.tpm = TargetPriorityManager()
+        self.conn = _FakeConn()
+        self.next_cid = 0
+        self.sent = []  # every workload CID ever issued
+        self.pending_responses = []  # drain CIDs en route to the initiator
+        self.answered = []  # drain CIDs already delivered (replayable)
+        self.retired = []  # every CID the initiator retired, in order
+
+    def _stamp_and_deliver(self, cid, draining):
+        from repro.core.flags import pack_flags
+
+        sqe = _sqe(cid)
+        sqe.rsvd_priority = pack_flags(Priority.THROUGHPUT, draining)
+        sqe.rsvd_tenant = 0
+        _p, group, batch = self.tpm.on_command(self.conn, CapsuleCmdPdu(sqe=sqe))
+        if group is not None:
+            # Device completes the whole window instantly in this model.
+            self.pending_responses.append(group.drain_cid)
+
+    def send(self):
+        cid = self.next_cid
+        self.next_cid += 1
+        sqe = _sqe(cid)
+        draining = self.ipm.before_send(sqe, Priority.THROUGHPUT, 0)
+        self.sent.append((cid, draining))
+        self._stamp_and_deliver(cid, draining)
+
+    def retry(self, pick):
+        live = [(c, d) for c, d in self.sent if self.ipm.is_registered(c)]
+        if not live:
+            return
+        cid, draining = live[pick % len(live)]
+        self.ipm.restamp(_sqe(cid), Priority.THROUGHPUT, draining, 0)
+        self._stamp_and_deliver(cid, draining)
+
+    def deliver(self):
+        if not self.pending_responses:
+            return
+        drain_cid = self.pending_responses.pop(0)
+        self.retired.extend(self.ipm.on_coalesced_response(drain_cid))
+        self.answered.append(drain_cid)
+
+    def drop(self):
+        if self.pending_responses:
+            self.pending_responses.pop(0)
+
+    def dup(self, pick):
+        pool = self.answered + self.pending_responses
+        if not pool:
+            return
+        self.retired.extend(self.ipm.on_coalesced_response(pool[pick % len(pool)]))
+
+    def force(self):
+        """The drain watchdog's recovery move (lost response presumed)."""
+        if len(self.ipm.cid_queue) == 0:
+            return
+        cid = self.next_cid
+        self.next_cid += 1
+        sqe = _sqe(cid, op=OP_FLUSH)
+        self.ipm.force_drain_flags(sqe, tenant_id=0, forced=True)
+        self._stamp_and_deliver(cid, True)
+
+    def settle(self):
+        """Post-chaos recovery: force-drain until every window retires."""
+        for _ in range(2 * self.window + len(self.sent) + 8):
+            while self.pending_responses:
+                self.deliver()
+            if len(self.ipm.cid_queue) == 0:
+                return
+            self.force()
+        raise AssertionError("drain protocol failed to settle")
+
+
+@given(actions=ACTIONS, window=st.integers(min_value=1, max_value=8))
+@settings(max_examples=120, deadline=None)
+def test_random_interleavings_retire_every_cid_exactly_once(actions, window):
+    h = _Harness(window)
+    for action in actions:
+        kind = action[0]
+        if kind == "send":
+            h.send()
+        elif kind == "retry":
+            h.retry(action[1])
+        elif kind == "deliver":
+            h.deliver()
+        elif kind == "drop":
+            h.drop()
+        elif kind == "dup":
+            h.dup(action[1])
+        else:
+            h.force()
+        # The un-drained window is bounded at every step (Alg. 1 resets the
+        # counter when it reaches the window size).
+        assert h.ipm.pending_undrained < max(h.window, 1) or h.window == 1
+        assert h.ipm.pending_undrained <= h.window
+
+    h.settle()
+
+    # Exactly-once: every workload CID retired once, no CID retired twice.
+    workload = [cid for cid, _d in h.sent]
+    assert len(h.retired) == len(set(h.retired))
+    assert set(workload).issubset(set(h.retired))
+    # Whatever else was retired can only be drain markers the harness sent.
+    assert set(h.retired) <= set(range(h.next_cid))
+    # Target bookkeeping never exploded: members are queued at most once.
+    tenant_queue = (
+        h.tpm.registry.get(0).cid_queue.as_list() if 0 in h.tpm.registry else []
+    )
+    assert len(tenant_queue) == len(set(tenant_queue))
