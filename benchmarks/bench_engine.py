@@ -30,6 +30,25 @@ def test_engine_event_throughput(benchmark):
     assert result == 100_000.0
 
 
+def test_engine_callback_throughput(benchmark):
+    """Schedule+dispatch cost of the call_later fast path (100k callbacks)."""
+
+    def run():
+        env = Environment()
+        total = 100_000
+
+        def tick(remaining):
+            if remaining:
+                env.call_later(1.0, tick, remaining - 1)
+
+        env.call_later(1.0, tick, total - 1)
+        env.run()
+        return env.now
+
+    result = benchmark(run)
+    assert result == 100_000.0
+
+
 def test_engine_store_handoff(benchmark):
     """Producer/consumer rendezvous cost (50k items)."""
 

@@ -1,0 +1,286 @@
+#!/usr/bin/env python
+"""Substrate benchmark runner: measures the simulation kernel and writes
+``BENCH_core.json``.
+
+Unlike the pytest-benchmark files next to it, this is a plain script (no
+fixtures, no statistics plugins) so the exact same harness can be run on any
+commit — the committed ``BENCH_core.json`` carries a ``pre_refactor`` section
+captured on the generator/Event-per-completion kernel and a ``post_refactor``
+section captured after the pooled-timer/`call_later` fast path landed.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py               # full sizes, rewrite 'current'
+    python benchmarks/run_benchmarks.py --fast        # CI smoke sizes
+    python benchmarks/run_benchmarks.py --fast --check  # regression gate vs
+                                                        # the committed baseline
+
+``--check`` exits non-zero when engine event throughput falls more than
+``--tolerance`` (default 20%) below the committed post-refactor baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.net import Fabric
+from repro.simcore import Environment, Store
+from repro.simcore.rng import RandomStreams
+from repro.ssd import NvmeSsd, SsdProfile
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_core.json"
+
+
+def _best_of(fn, repeats: int = 3):
+    """Run ``fn`` ``repeats`` times; return (best_elapsed_seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - t0
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# -- microbenchmarks ----------------------------------------------------------
+
+def bench_engine_generator(n: int) -> dict:
+    """The generator hot loop: one process yielding ``n`` timeouts."""
+
+    def run():
+        env = Environment()
+
+        def ticker(env, count):
+            for _ in range(count):
+                yield env.timeout(1.0)
+
+        env.process(ticker(env, n))
+        env.run()
+        return env.now
+
+    elapsed, now = _best_of(run)
+    assert now == float(n)
+    return {"events": n, "seconds": elapsed, "events_per_sec": n / elapsed}
+
+
+def bench_engine_callbacks(n: int) -> dict:
+    """The callback hot loop: ``n`` chained completions, no generators.
+
+    Uses ``Environment.call_later`` when the kernel provides it; on older
+    commits it falls back to the one-Event-per-completion idiom the hot
+    layers used before the fast path, so the same script benchmarks both
+    kernels for the before/after record.
+    """
+
+    def run():
+        env = Environment()
+        state = {"left": n}
+
+        if hasattr(env, "call_later"):
+            def tick(_arg):
+                state["left"] -= 1
+                if state["left"] > 0:
+                    env.call_later(1.0, tick, None)
+
+            env.call_later(1.0, tick, None)
+        else:  # pre-refactor fallback: raw Event per completion
+            from repro.simcore import Event
+
+            def tick(_event):
+                state["left"] -= 1
+                if state["left"] > 0:
+                    ev = Event(env)
+                    ev._ok = True
+                    ev._value = None
+                    ev.callbacks.append(tick)
+                    env.schedule(ev, delay=1.0)
+
+            ev = Event(env)
+            ev._ok = True
+            ev._value = None
+            ev.callbacks.append(tick)
+            env.schedule(ev, delay=1.0)
+        env.run()
+        return state["left"]
+
+    elapsed, left = _best_of(run)
+    assert left == 0
+    return {"events": n, "seconds": elapsed, "events_per_sec": n / elapsed}
+
+
+def bench_store_handoff(n: int) -> dict:
+    def run():
+        env = Environment()
+        store = Store(env)
+
+        def producer(env):
+            for i in range(n):
+                yield store.put(i)
+
+        def consumer(env):
+            for _ in range(n):
+                yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        return n
+
+    elapsed, _ = _best_of(run)
+    return {"items": n, "seconds": elapsed, "items_per_sec": n / elapsed}
+
+
+def bench_tcp_bulk(messages: int) -> dict:
+    def run():
+        env = Environment()
+        fabric = Fabric(env, rate_gbps=100)
+        fabric.add_node("a")
+        fabric.add_node("b")
+        sa, sb = fabric.connect("a", "b")
+        done = []
+        sb.deliver = done.append
+        for i in range(messages):
+            sa.send_message(i, size=32 * 1024)
+        env.run()
+        return len(done)
+
+    elapsed, delivered = _best_of(run)
+    assert delivered == messages
+    return {"messages": messages, "seconds": elapsed}
+
+
+def bench_ssd_pipeline(total: int) -> dict:
+    def run():
+        env = Environment()
+        ssd = NvmeSsd(env, profile=SsdProfile(channels=8), streams=RandomStreams(1))
+        qp = ssd.create_qpair()
+        state = {"done": 0, "submitted": 0}
+
+        def refill(completion):
+            state["done"] += 1
+            if state["submitted"] < total:
+                qp.read(1, slba=state["submitted"] % 1000, nlb=1)
+                state["submitted"] += 1
+
+        qp.on_completion = refill
+        for _ in range(64):
+            qp.read(1, slba=0, nlb=1)
+            state["submitted"] += 1
+        env.run()
+        return state["done"]
+
+    elapsed, done = _best_of(run)
+    assert done == total
+    return {"commands": total, "seconds": elapsed, "commands_per_sec": total / elapsed}
+
+
+def bench_fig7_sweep(total_ops: int) -> dict:
+    """One end-to-end figure-style sweep (the golden-regression scenario)."""
+    from repro.cluster.scenario import Scenario, ScenarioConfig
+    from repro.workloads.mixes import tenants_for_ratio
+
+    def one(protocol):
+        cfg = ScenarioConfig(
+            protocol=protocol,
+            network_gbps=10.0,
+            op_mix="read",
+            total_ops=total_ops,
+            window_size=16,
+            seed=1,
+        )
+        scenario = Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read"))
+        return scenario.run()
+
+    out = {}
+    for protocol in ("spdk", "nvme-opf"):
+        elapsed, result = _best_of(lambda p=protocol: one(p), repeats=2)
+        out[protocol] = {
+            "seconds": elapsed,
+            "tc_throughput_mbps": result.tc_throughput_mbps,
+        }
+    return {"total_ops": total_ops, "protocols": out}
+
+
+# -- driver -------------------------------------------------------------------
+
+def run_all(fast: bool) -> dict:
+    scale = 10 if fast else 1
+    results = {
+        "mode": "fast" if fast else "full",
+        "engine_generator": bench_engine_generator(100_000 // scale),
+        "engine_callbacks": bench_engine_callbacks(100_000 // scale),
+        "store_handoff": bench_store_handoff(50_000 // scale),
+        "tcp_bulk": bench_tcp_bulk(256 // (2 if fast else 1)),
+        "ssd_pipeline": bench_ssd_pipeline(20_000 // scale),
+        "fig7_sweep": bench_fig7_sweep(200),
+    }
+    return results
+
+
+def check(current: dict, committed: dict, tolerance: float) -> int:
+    """Regression gate: engine event throughput vs the committed baseline."""
+    baseline = committed.get("post_refactor") or committed.get("current")
+    if not baseline:
+        print("check: no committed baseline in BENCH_core.json; skipping")
+        return 0
+    failures = 0
+    for key in ("engine_generator", "engine_callbacks"):
+        base = baseline.get(key, {}).get("events_per_sec")
+        cur = current.get(key, {}).get("events_per_sec")
+        if not base or not cur:
+            continue
+        floor = base * (1.0 - tolerance)
+        status = "ok" if cur >= floor else "REGRESSION"
+        print(
+            f"check: {key}: {cur:,.0f} ev/s vs baseline {base:,.0f} "
+            f"(floor {floor:,.0f}) -> {status}"
+        )
+        if cur < floor:
+            failures += 1
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--check", action="store_true", help="regression gate")
+    parser.add_argument("--tolerance", type=float, default=0.2)
+    parser.add_argument(
+        "--save-as",
+        choices=["current", "pre_refactor", "post_refactor", "none"],
+        default="current",
+        help="which BENCH_core.json section to overwrite (none: measure only)",
+    )
+    args = parser.parse_args()
+
+    current = run_all(fast=args.fast)
+    print(json.dumps(current, indent=2))
+
+    committed = {}
+    if BENCH_FILE.exists():
+        committed = json.loads(BENCH_FILE.read_text())
+
+    if args.check:
+        failures = check(current, committed, args.tolerance)
+        if failures:
+            print(f"check: {failures} benchmark(s) regressed beyond tolerance")
+            return 1
+        return 0
+
+    if args.save_as != "none":
+        committed[args.save_as] = current
+        BENCH_FILE.write_text(json.dumps(committed, indent=2) + "\n")
+        print(f"wrote {BENCH_FILE} [{args.save_as}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

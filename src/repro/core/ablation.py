@@ -57,8 +57,14 @@ class SharedQueueOpfTarget(OpfTarget):
             super()._handle_command(conn, pdu)
             return
         cost = self.costs.pdu_rx + self.costs.retire + self.lock_cost
-        done = self.core.execute(cost, label="tc_rx_shared")
-        done.callbacks.append(lambda _ev: self._enqueue_shared(conn, pdu, tenant_id))
+        self.core.run_later(
+            cost, self._enqueue_shared_args, (conn, pdu, tenant_id), label="tc_rx_shared"
+        )
+
+    def _enqueue_shared_args(
+        self, args: Tuple[TargetConnection, CapsuleCmdPdu, int]
+    ) -> None:
+        self._enqueue_shared(*args)
 
     def _enqueue_shared(self, conn: TargetConnection, pdu: CapsuleCmdPdu, tenant_id: int) -> None:
         if len(self._shared) >= self.tc_queue_depth:
@@ -107,8 +113,7 @@ class SharedQueueOpfTarget(OpfTarget):
             + self.lock_cost * len(batch)
             + self._tenant_switch_cost(drain_tenant)
         )
-        done = self.core.execute(cost, label="tc_flush_shared")
-        done.callbacks.append(lambda _ev: self._execute_batch(group, mine))
+        self.core.run_later(cost, self._execute_batch_args, (group, mine), label="tc_flush_shared")
 
         # Other tenants' windows were flushed early: each of their requests
         # executes now but must be answered individually (group=None), so
@@ -116,9 +121,8 @@ class SharedQueueOpfTarget(OpfTarget):
         for conn, pdu, tenant_id in others:
             self.individual_tc_responses += 1
             cost = self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
-            done = self.core.execute(cost, label="tc_premature")
-            done.callbacks.append(
-                lambda _ev, c=conn, p=pdu, t=tenant_id: self._submit_to_device(c, p, t)
+            self.core.run_later(
+                cost, self._submit_args, (conn, pdu, tenant_id), label="tc_premature"
             )
 
         # Space freed: admit overflow arrivals in order.

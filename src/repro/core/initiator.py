@@ -187,8 +187,7 @@ class OpfInitiator(NvmeOfInitiator):
         from ..nvmeof.pdu import CapsuleCmdPdu
 
         pdu = CapsuleCmdPdu(sqe=sqe, data_len=0)
-        done = self.core.execute(self.costs.pdu_tx, label="drain_tx")
-        done.callbacks.append(lambda _ev: self.transport.send(pdu))
+        self.core.run_later(self.costs.pdu_tx, self._tx, pdu, label="drain_tx")
         if self.retry_policy is not None:
             # Markers are commands too: give them the per-command watchdog
             # (a lost marker is retried like any other send) and a drain

@@ -75,15 +75,16 @@ class OpfTarget(NvmeOfTarget):
             cost = (
                 self.costs.pdu_rx + self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
             )
-            done = self.core.execute(cost, label="ls_rx")
-            done.callbacks.append(lambda _ev: self._submit_to_device(conn, pdu, tenant_id))
+            self.core.run_later(cost, self._submit_args, (conn, pdu, tenant_id), label="ls_rx")
             return
 
         # Throughput-critical: receive + queue-push only; execution waits
         # for the window's draining flag.
         cost = self.costs.pdu_rx + self.costs.retire
-        done = self.core.execute(cost, label="tc_rx")
-        done.callbacks.append(lambda _ev: self._enqueue_tc(conn, pdu))
+        self.core.run_later(cost, self._enqueue_tc_args, (conn, pdu), label="tc_rx")
+
+    def _enqueue_tc_args(self, args: "Tuple[TargetConnection, CapsuleCmdPdu]") -> None:
+        self._enqueue_tc(*args)
 
     def _enqueue_tc(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> None:
         _priority, group, batch = self.pm.on_command(conn, pdu)
@@ -95,8 +96,12 @@ class OpfTarget(NvmeOfTarget):
         # device doorbell per member.
         n_device = sum(1 for _c, p in batch if not self._is_drain_marker(p))
         cost = self.costs.nvme_submit * n_device + self._tenant_switch_cost(group.tenant_id)
-        done = self.core.execute(cost, label="tc_flush")
-        done.callbacks.append(lambda _ev: self._execute_batch(group, batch))
+        self.core.run_later(cost, self._execute_batch_args, (group, batch), label="tc_flush")
+
+    def _execute_batch_args(
+        self, args: "Tuple[DrainGroup, List[Tuple[TargetConnection, CapsuleCmdPdu]]]"
+    ) -> None:
+        self._execute_batch(*args)
 
     @staticmethod
     def _is_drain_marker(pdu: CapsuleCmdPdu) -> bool:
@@ -137,8 +142,10 @@ class OpfTarget(NvmeOfTarget):
         cost = self.costs.nvme_complete + self.costs.retire
         if ctx.op == OP_READ:
             cost += self.costs.pdu_tx  # read data still flows per request
-        done = self.core.execute(cost, label="tc_complete")
-        done.callbacks.append(lambda _ev: self._tc_completed(ctx, status))
+        self.core.run_later(cost, self._tc_completed_args, (ctx, status), label="tc_complete")
+
+    def _tc_completed_args(self, args: "Tuple[RequestContext, int]") -> None:
+        self._tc_completed(*args)
 
     def _tc_completed(self, ctx: RequestContext, status: int) -> None:
         self.stats.requests_completed += 1
@@ -155,8 +162,15 @@ class OpfTarget(NvmeOfTarget):
         fifo = self._group_fifo.get(group.tenant_id, [])
         while fifo and fifo[0].ready:
             head = fifo.pop(0)
-            done = self.core.execute(self.costs.cqe_build + self.costs.pdu_tx, label="tc_resp")
-            done.callbacks.append(lambda _ev, g=head: self._send_coalesced(g.conn, g))
+            self.core.run_later(
+                self.costs.cqe_build + self.costs.pdu_tx,
+                self._send_coalesced_group,
+                head,
+                label="tc_resp",
+            )
+
+    def _send_coalesced_group(self, group: DrainGroup) -> None:
+        self._send_coalesced(group.conn, group)
 
     def tenant_report(self) -> dict:
         """Per-tenant coalescing statistics (tenant id -> stats snapshot)."""

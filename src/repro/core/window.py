@@ -116,15 +116,9 @@ class DrainWatchdog:
 
     def arm(self, drain_cid: int) -> None:
         """Start (or restart, superseding the old deadline) one drain's clock."""
-        from ..simcore.events import Event
-
         self._token += 1
         self._armed[drain_cid] = self._token
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = (drain_cid, self._token)
-        ev.callbacks.append(self._on_deadline)
-        self.env.schedule(ev, delay=self.timeout_us)
+        self.env.call_later(self.timeout_us, self._on_deadline, (drain_cid, self._token))
 
     def disarm(self, drain_cid: int) -> None:
         self._armed.pop(drain_cid, None)
@@ -132,8 +126,8 @@ class DrainWatchdog:
     def disarm_all(self) -> None:
         self._armed.clear()
 
-    def _on_deadline(self, event) -> None:
-        drain_cid, token = event._value
+    def _on_deadline(self, token_pair) -> None:
+        drain_cid, token = token_pair
         if self._armed.get(drain_cid) != token:
             return  # answered, or a newer attempt owns this drain
         del self._armed[drain_cid]

@@ -50,6 +50,17 @@ class Reactor:
         stats.busy_us += cost
         return self.core.execute(cost, label=poller)
 
+    def run_later(self, poller: str, cost: float, fn, arg=None) -> float:
+        """Callback variant of :meth:`run`: ``fn(arg)`` fires at completion.
+
+        Rides :meth:`CpuCore.run_later` (no Event allocation); returns the
+        completion time.
+        """
+        stats = self._pollers.setdefault(poller, PollerStats())
+        stats.calls += 1
+        stats.busy_us += cost
+        return self.core.run_later(cost, fn, arg, label=poller)
+
     def charge(self, poller: str, cost: float) -> float:
         """Fire-and-forget variant of :meth:`run`; returns completion time."""
         stats = self._pollers.setdefault(poller, PollerStats())

@@ -15,7 +15,6 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from ..errors import FaultError
 from ..metrics.events import EventCounter
-from ..simcore.events import Event
 from .schedule import FaultEvent, FaultSchedule
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -112,14 +111,10 @@ class Injector:
         self.faults_injected += 1
         self._record("inject", fault)
         if revert is not None and fault.duration_us > 0:
-            done = Event(self.env)
-            done._ok = True
-            done._value = (fault, revert)
-            done.callbacks.append(self._on_revert)
-            self.env.schedule(done, delay=fault.duration_us)
+            self.env.call_later(fault.duration_us, self._on_revert, (fault, revert))
 
-    def _on_revert(self, event: Event) -> None:
-        fault, revert = event._value
+    def _on_revert(self, token) -> None:
+        fault, revert = token
         revert()
         self.faults_reverted += 1
         self._record("revert", fault)

@@ -14,7 +14,6 @@ from collections import deque
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from ..errors import ConfigError
-from ..simcore.events import Event
 from ..simcore.trace import NULL_TRACER, Tracer
 from ..units import gbps_to_bytes_per_us
 from .packet import Packet
@@ -107,19 +106,25 @@ class Link:
         """
         if self.sink is None:
             raise ConfigError(f"link {self.name!r} has no sink connected")
+        # Drop paths pre-check ``tracer.enabled`` so a drop storm on a
+        # disabled tracer costs one attribute read, not a method call per
+        # frame (and callers never build payloads for records nobody keeps).
         if not self.up:
             self.stats.dropped += 1
             self.stats.fault_drops += 1
-            self.tracer.emit(self.env.now, self.name, "drop-linkdown", packet)
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, self.name, "drop-linkdown", packet)
             return False
         if self.drop_filter is not None and self.drop_filter(packet):
             self.stats.dropped += 1
             self.stats.fault_drops += 1
-            self.tracer.emit(self.env.now, self.name, "drop-injected", packet)
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, self.name, "drop-injected", packet)
             return False
         if len(self._queue) >= self.queue_limit:
             self.stats.dropped += 1
-            self.tracer.emit(self.env.now, self.name, "drop", packet)
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, self.name, "drop", packet)
             return False
         self.stats.enqueued += 1
         packet.sent_at = self.env.now
@@ -130,38 +135,32 @@ class Link:
         return True
 
     # -- internals ---------------------------------------------------------------
+    # Per-packet completions ride the engine's callback fast path: no Event
+    # object per serialisation/propagation hop, same heap position (and thus
+    # bit-identical ordering) as the Event-per-hop formulation it replaced.
     def _transmit_next(self) -> None:
         packet = self._queue.popleft()
         tx_time = packet.wire_size / self.rate
         self.stats.busy_time += tx_time
-        done = Event(self.env)
-        done._ok = True
-        done._value = packet
-        done.callbacks.append(self._tx_done)
-        self.env.schedule(done, delay=tx_time)
+        self.env.call_later(tx_time, self._tx_done, packet)
 
-    def _tx_done(self, event: Event) -> None:
-        packet: Packet = event._value
+    def _tx_done(self, packet: Packet) -> None:
         self.stats.bytes_sent += packet.wire_size
         if packet.is_data:
             self.stats.data_packets += 1
         else:
             self.stats.ack_packets += 1
 
-        arrive = Event(self.env)
-        arrive._ok = True
-        arrive._value = packet
-        arrive.callbacks.append(self._deliver)
-        self.env.schedule(arrive, delay=self.propagation)
+        self.env.call_later(self.propagation, self._deliver, packet)
 
         if self._queue:
             self._transmit_next()
         else:
             self._busy = False
 
-    def _deliver(self, event: Event) -> None:
+    def _deliver(self, packet: Packet) -> None:
         self.stats.delivered += 1
-        self.sink(event._value)  # type: ignore[misc]
+        self.sink(packet)  # type: ignore[misc]
 
     # -- fault hooks -------------------------------------------------------------
     def set_up(self, up: bool) -> None:

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Dict
 
 from ..errors import NetworkError
-from ..simcore.events import Event
 from .link import Link
 from .packet import Packet
 
@@ -55,16 +54,9 @@ class Switch:
         if self.forwarding_delay == 0:
             egress.send(packet)
             return
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = (egress, packet)
-        ev.callbacks.append(self._forward)
-        self.env.schedule(ev, delay=self.forwarding_delay)
-
-    @staticmethod
-    def _forward(event: Event) -> None:
-        egress, packet = event._value
-        egress.send(packet)
+        # Callback fast path: the forwarding delay schedules the egress send
+        # directly — no Event allocation per forwarded frame.
+        self.env.call_later(self.forwarding_delay, egress.send, packet)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Switch {self.name!r} ports={list(self._ports)}>"

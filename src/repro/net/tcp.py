@@ -90,9 +90,12 @@ class _RestartableTimer:
     """A coarse restartable timer (used for RTO and delayed ACK).
 
     ``restart(delay)`` arms (or re-arms) the timer; ``stop()`` disarms it.
-    The sleeping process re-checks the deadline on wake, so moving the
-    deadline *later* is free; moving it earlier fires slightly late, which
-    is conservative for an RTO.
+    Implemented on the engine's ``call_later`` fast path: at most one wakeup
+    callback is in flight, and the wakeup re-checks the deadline on fire —
+    so moving the deadline *later* is free (no reschedule), and moving it
+    earlier fires slightly late, which is conservative for an RTO.  Per
+    re-arm this allocates nothing (the generator-process formulation paid a
+    process + one Timeout per sleep).
     """
 
     def __init__(self, env: "Environment", callback: Callable[[], None], name: str) -> None:
@@ -100,7 +103,7 @@ class _RestartableTimer:
         self.callback = callback
         self.name = name
         self._deadline: Optional[float] = None
-        self._proc = None
+        self._wakeups = 0  # wakeup callbacks currently on the heap (0 or 1)
 
     @property
     def armed(self) -> bool:
@@ -108,23 +111,29 @@ class _RestartableTimer:
 
     def restart(self, delay: float) -> None:
         self._deadline = self.env.now + delay
-        if self._proc is None or not self._proc.is_alive:
-            self._proc = self.env.process(self._run(), name=self.name)
+        if self._wakeups == 0:
+            self._wakeups = 1
+            self.env.call_later(delay, self._on_fire, None)
 
     def stop(self) -> None:
         self._deadline = None
 
-    def _run(self):
-        while self._deadline is not None:
-            remaining = self._deadline - self.env.now
-            if remaining <= 0:
-                self._deadline = None
-                self.callback()
-                # The callback may have re-armed the timer (an RTO handler
-                # always does).  Keep looping on the new deadline — exiting
-                # here would orphan it and strand un-acked data forever.
-                continue
-            yield self.env.timeout(remaining)
+    def _on_fire(self, _arg: None) -> None:
+        self._wakeups -= 1
+        deadline = self._deadline
+        if deadline is None:
+            return  # stopped while the wakeup was in flight
+        remaining = deadline - self.env.now
+        if remaining <= 0:
+            self._deadline = None
+            # The callback may re-arm the timer (an RTO handler always
+            # does); with _wakeups already at 0 its restart() schedules the
+            # next wakeup itself — nothing is orphaned.
+            self.callback()
+        elif self._wakeups == 0:
+            # Deadline was pushed out while we slept: sleep the difference.
+            self._wakeups = 1
+            self.env.call_later(remaining, self._on_fire, None)
 
 
 class TcpSocket:

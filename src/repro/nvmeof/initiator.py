@@ -139,9 +139,11 @@ class NvmeOfInitiator:
         if self._connected_event is not None:
             return self._connected_event
         self._connected_event = Event(self.env)
-        done = self.core.execute(self.costs.pdu_tx, label="ic_tx")
-        done.callbacks.append(lambda _ev: self.transport.send(self._make_icreq()))
+        self.core.run_later(self.costs.pdu_tx, self._send_icreq, label="ic_tx")
         return self._connected_event
+
+    def _send_icreq(self, _arg: None = None) -> None:
+        self.transport.send(self._make_icreq())
 
     def _make_icreq(self) -> IcReqPdu:
         """Build the handshake PDU (oPF overrides to announce resync state)."""
@@ -221,8 +223,11 @@ class NvmeOfInitiator:
         self._fill_reserved(sqe, request)
         data_len = request.nbytes if request.op == OP_WRITE else 0
         pdu = CapsuleCmdPdu(sqe=sqe, data_len=data_len)
-        done = self.core.execute(self.costs.pdu_tx, label="cmd_tx")
-        done.callbacks.append(lambda _ev: self.transport.send(pdu))
+        # Callback fast path: no Event (and no closure) per command send.
+        self.core.run_later(self.costs.pdu_tx, self._tx, pdu, label="cmd_tx")
+
+    def _tx(self, pdu: Any) -> None:
+        self.transport.send(pdu)
 
     # -- oPF override points -------------------------------------------------------
     def _fill_reserved(self, sqe: Sqe, request: IoRequest) -> None:
@@ -247,8 +252,7 @@ class NvmeOfInitiator:
         if isinstance(pdu, CapsuleRespPdu):
             self.stats.completion_pdus_received += 1
             cost = self.costs.pdu_rx + self.costs.completion_process
-            done = self.core.execute(cost, label="resp_rx")
-            done.callbacks.append(lambda _ev: self._handle_response(pdu))
+            self.core.run_later(cost, self._handle_response, pdu, label="resp_rx")
         elif isinstance(pdu, C2HDataPdu):
             # Read payload; completion arrives separately as a CapsuleResp.
             self.stats.data_pdus_received += 1
@@ -306,14 +310,10 @@ class NvmeOfInitiator:
         already completed (or a superseded attempt), the (cid, attempt)
         pair no longer matches and the callback is a no-op.
         """
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = (cid, attempt)
-        ev.callbacks.append(self._on_watchdog)
-        self.env.schedule(ev, delay=self.retry_policy.timeout_us)
+        self.env.call_later(self.retry_policy.timeout_us, self._on_watchdog, (cid, attempt))
 
-    def _on_watchdog(self, event: Event) -> None:
-        cid, attempt = event._value
+    def _on_watchdog(self, token: "tuple[int, int]") -> None:
+        cid, attempt = token
         if self.qpair.peek(cid) is None or self._attempts.get(cid) != attempt:
             return  # completed, or a newer attempt owns this command
         self.stats.timeouts += 1
@@ -331,14 +331,12 @@ class NvmeOfInitiator:
         jitter_u = 0.0
         if self.recovery_rng is not None and policy.jitter_frac > 0:
             jitter_u = float(self.recovery_rng.random())
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = (cid, nxt)
-        ev.callbacks.append(self._on_resend)
-        self.env.schedule(ev, delay=policy.backoff_us(attempt, jitter_u))
+        self.env.call_later(
+            policy.backoff_us(attempt, jitter_u), self._on_resend, (cid, nxt)
+        )
 
-    def _on_resend(self, event: Event) -> None:
-        cid, attempt = event._value
+    def _on_resend(self, token: "tuple[int, int]") -> None:
+        cid, attempt = token
         request = self.qpair.peek(cid)
         if request is None or self._attempts.get(cid) != attempt:
             return
@@ -372,37 +370,30 @@ class NvmeOfInitiator:
         self._schedule_reconnect(self.retry_policy.reconnect_delay_us)
 
     def _schedule_reconnect(self, delay: float) -> None:
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = None
-        ev.callbacks.append(lambda _ev: self._attempt_reconnect())
-        self.env.schedule(ev, delay=delay)
+        self.env.call_later(delay, self._attempt_reconnect)
 
-    def _attempt_reconnect(self) -> None:
+    def _attempt_reconnect(self, _arg: None = None) -> None:
         if self._connected or not self._reconnecting:
             return
         self._count("recovery/handshake")
-        done = self.core.execute(self.costs.pdu_tx, label="reconnect_tx")
-        done.callbacks.append(lambda _ev: self.transport.send(self._make_icreq()))
+        self.core.run_later(self.costs.pdu_tx, self._send_icreq, label="reconnect_tx")
         round_ = self._reconnect_round
         self._reconnect_round += 1
-        ev = Event(self.env)
-        ev._ok = True
-        ev._value = round_
-        ev.callbacks.append(self._on_handshake_watchdog)
-        self.env.schedule(ev, delay=self.retry_policy.handshake_timeout_us)
+        self.env.call_later(
+            self.retry_policy.handshake_timeout_us, self._on_handshake_watchdog, round_
+        )
 
-    def _on_handshake_watchdog(self, event: Event) -> None:
+    def _on_handshake_watchdog(self, round_: int) -> None:
         if self._connected or not self._reconnecting:
             return
-        if event._value + 1 != self._reconnect_round:
+        if round_ + 1 != self._reconnect_round:
             return  # a newer handshake attempt is already pending
         # Handshake lost (e.g. target still down): retry with exponential
         # backoff, unbounded — a restarted target must not strand us.
         policy = self.retry_policy
         delay = min(
             policy.backoff_cap_us,
-            policy.handshake_timeout_us * policy.backoff_mult ** event._value,
+            policy.handshake_timeout_us * policy.backoff_mult ** round_,
         )
         self._schedule_reconnect(delay)
 

@@ -197,8 +197,12 @@ class NvmeOfTarget:
         before answering; the baseline has no per-tenant window state.
         """
         conn.tenant_id = pdu.tenant_id
-        done = self.core.execute(self.costs.pdu_rx + self.costs.pdu_tx, label="ic")
-        done.callbacks.append(lambda _ev: conn.transport.send(IcRespPdu()))
+        self.core.run_later(
+            self.costs.pdu_rx + self.costs.pdu_tx, self._send_icresp, conn, label="ic"
+        )
+
+    def _send_icresp(self, conn: TargetConnection) -> None:
+        conn.transport.send(IcRespPdu())
 
     # -- command path ------------------------------------------------------------
     def _tenant_switch_cost(self, tenant_id: int) -> float:
@@ -214,8 +218,12 @@ class NvmeOfTarget:
         """Baseline FIFO: receive, then submit straight to the device."""
         tenant_id = self._resolve_tenant(conn, pdu)
         cost = self.costs.pdu_rx + self.costs.nvme_submit + self._tenant_switch_cost(tenant_id)
-        done = self.core.execute(cost, label="cmd_rx")
-        done.callbacks.append(lambda _ev: self._submit_to_device(conn, pdu, tenant_id))
+        # Callback fast path: one tuple instead of an Event + closure per command.
+        self.core.run_later(cost, self._submit_args, (conn, pdu, tenant_id), label="cmd_rx")
+
+    def _submit_args(self, args: "tuple[TargetConnection, CapsuleCmdPdu, int]") -> None:
+        conn, pdu, tenant_id = args
+        self._submit_to_device(conn, pdu, tenant_id)
 
     def _resolve_tenant(self, conn: TargetConnection, pdu: CapsuleCmdPdu) -> int:
         """Baseline has no per-request tenant bits: identify by connection."""
@@ -263,8 +271,10 @@ class NvmeOfTarget:
         cost = self.costs.nvme_complete + self.costs.cqe_build + self.costs.pdu_tx
         if ctx.op == OP_READ:
             cost += self.costs.pdu_tx  # the C2HData PDU
-        done = self.core.execute(cost, label="resp_tx")
-        done.callbacks.append(lambda _ev: self._send_response(ctx, status))
+        self.core.run_later(cost, self._send_response_args, (ctx, status), label="resp_tx")
+
+    def _send_response_args(self, args: "tuple[RequestContext, int]") -> None:
+        self._send_response(*args)
 
     def _send_response(self, ctx: RequestContext, status: int) -> None:
         self.stats.requests_completed += 1

@@ -5,6 +5,24 @@ a binary-heap event queue.  Determinism: ties at equal ``(time, priority)``
 are broken by a monotonically increasing sequence number, so two runs with
 the same seed replay identically.
 
+Two scheduling APIs share the one heap (see docs/ARCHITECTURE.md, "Two
+scheduling APIs"):
+
+* **Processes** — generators yielding :class:`Event` objects.  Expressive
+  (interrupts, conditions, error propagation); one object per occurrence.
+  Use for the cold control plane: connect/handshake, recovery, experiment
+  orchestration.
+* **Plain callbacks** — :meth:`Environment.call_later` /
+  :meth:`Environment.call_at` enqueue a bare ``fn(arg)`` with no Event, no
+  callback list, no generator frame.  Use on per-packet/per-command hot
+  paths.
+
+Both entry kinds are 5-tuples ``(time, priority, seq, fn, arg)`` and are
+dispatched identically (``fn(arg)``; events ride with ``fn`` set to the
+event processor), so callbacks and events interleave with exactly the same
+``(time, priority, seq)`` tie-breaking — the fast path cannot perturb replay
+order.
+
 Typical usage::
 
     env = Environment()
@@ -21,8 +39,9 @@ Typical usage::
 from __future__ import annotations
 
 import heapq
+import math
 from itertools import count
-from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
 
 from ..errors import SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
@@ -30,15 +49,69 @@ from .process import Process
 
 Infinity = float("inf")
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Cap on pooled Timeout objects kept for reuse (bounds memory after bursts).
+_POOL_LIMIT = 1024
+
+_RESUME = Process._resume  # the one callback whose events are pool-safe
+
+
+def _process_event(event: Event) -> None:
+    """Uniform-dispatch shim: process one triggered :class:`Event`.
+
+    Runs the event's callbacks, re-raises unhandled failures, and recycles
+    pool-managed timeouts whose sole consumer was a process resume (the only
+    case where no live reference can observe the object afterwards — a
+    condition or a second waiter would appear as an extra callback).
+    """
+    callbacks = event.callbacks
+    if callbacks is None:  # pragma: no cover - defensive
+        raise SimulationError(f"{event!r} processed twice")
+    event.callbacks = None
+    if len(callbacks) == 1:
+        # Single consumer — the overwhelmingly common case on hot paths.
+        callback = callbacks[0]
+        callback(event)
+        if event._ok:
+            if event._pooled:
+                try:
+                    is_resume = callback.__func__ is _RESUME
+                except AttributeError:
+                    is_resume = False
+                if is_resume:
+                    event._value = None
+                    pool = event.env._timeout_pool
+                    if len(pool) < _POOL_LIMIT:
+                        callbacks.clear()
+                        event._spare = callbacks
+                        pool.append(event)
+            return
+    else:
+        for callback in callbacks:
+            callback(event)
+        if event._ok:
+            return
+    if not event._defused:
+        # An unhandled failure (e.g. a process crashed and nobody was
+        # waiting on it) aborts the simulation loudly rather than being
+        # silently dropped.
+        raise event._value
+
 
 class Environment:
     """Execution environment for a single simulation run."""
 
+    __slots__ = ("_now", "_queue", "_seq", "_active_proc", "_timeout_pool")
+
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._queue: List[Tuple[float, int, int, Callable[[Any], None], Any]] = []
         self._seq = count()
         self._active_proc: Optional[Process] = None
+        #: Free list of recycled :class:`Timeout` objects (see ``timeout()``).
+        self._timeout_pool: List[Timeout] = []
 
     # -- clock & introspection -----------------------------------------------
     @property
@@ -59,31 +132,66 @@ class Environment:
         return len(self._queue)
 
     # -- scheduling -----------------------------------------------------------
+    def _bad_delay(self, delay: float) -> SimulationError:
+        if isinstance(delay, (int, float)) and not math.isfinite(delay):
+            return SimulationError(
+                f"delay must be finite (got {delay!r}); NaN/inf would corrupt "
+                f"heap ordering"
+            )
+        return SimulationError(f"cannot schedule into the past (delay={delay!r})")
+
     def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
         """Enqueue ``event`` for processing at ``now + delay``."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._seq), event))
+        if not 0.0 <= delay < Infinity:  # rejects negatives, NaN and inf alike
+            raise self._bad_delay(delay)
+        _heappush(
+            self._queue,
+            (self._now + delay, priority, next(self._seq), _process_event, event),
+        )
+
+    def call_later(
+        self,
+        delay: float,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` at ``now + delay`` — the zero-allocation path.
+
+        No :class:`Event` is created: the callback rides directly on the heap
+        with the same ``(time, priority, seq)`` tie-breaking as events, so
+        replacing an Event-per-completion call site with ``call_later`` at
+        the same program point preserves replay order bit-for-bit.  The
+        callback cannot be cancelled; use a token/deadline re-check in ``fn``
+        for restartable timers (see ``net.tcp._RestartableTimer``).
+        """
+        if not 0.0 <= delay < Infinity:
+            raise self._bad_delay(delay)
+        _heappush(
+            self._queue, (self._now + delay, priority, next(self._seq), fn, arg)
+        )
+
+    def call_at(
+        self,
+        t: float,
+        fn: Callable[[Any], None],
+        arg: Any = None,
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` at absolute time ``t`` (must be >= now, finite)."""
+        if not self._now <= t < Infinity:  # rejects the past, NaN and inf alike
+            if isinstance(t, (int, float)) and not math.isfinite(t):
+                raise SimulationError(f"call_at time must be finite (got {t!r})")
+            raise SimulationError(f"call_at time {t!r} lies in the past (now={self._now})")
+        _heappush(self._queue, (t, priority, next(self._seq), fn, arg))
 
     def step(self) -> None:
-        """Process exactly one event, advancing the clock to its time."""
+        """Process exactly one entry, advancing the clock to its time."""
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            self._now, _, _, fn, arg = _heappop(self._queue)
         except IndexError:
             raise SimulationError("the event queue is empty") from None
-
-        callbacks, event.callbacks = event.callbacks, None
-        if callbacks is None:  # pragma: no cover - defensive
-            raise SimulationError(f"{event!r} processed twice")
-        for callback in callbacks:
-            callback(event)
-
-        if not event._ok and not event._defused:
-            # An unhandled failure (e.g. a process crashed and nobody was
-            # waiting on it) aborts the simulation loudly rather than being
-            # silently dropped.
-            exc = event._value
-            raise exc
+        fn(arg)
 
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
@@ -111,12 +219,19 @@ class Environment:
             stop._ok = True
             stop._value = None
             # URGENT: fire before any NORMAL event at the same timestamp.
-            heapq.heappush(self._queue, (at, URGENT, next(self._seq), stop))
+            heapq.heappush(
+                self._queue, (at, URGENT, next(self._seq), _process_event, stop)
+            )
             stop.callbacks.append(self._stop_callback)
 
+        # Inlined step() loop: one attribute fetch per run, not per event.
+        queue = self._queue
+        pop = _heappop
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                entry = pop(queue)
+                self._now = entry[0]
+                entry[3](entry[4])
         except StopSimulation as exc:
             return exc.args[0]
 
@@ -142,8 +257,36 @@ class Environment:
         return Process(self, generator, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that fires after ``delay`` microseconds."""
-        return Timeout(self, delay, value)
+        """An event that fires after ``delay`` microseconds.
+
+        Returned objects are **pool-managed**: once the timeout has resumed
+        the single process that yielded it, the engine may recycle the object
+        for a later ``timeout()`` call.  Keep the yielded *value*, not the
+        Timeout object — inspecting a consumed Timeout is undefined.  (Plain
+        ``Timeout(env, delay)`` construction opts out of pooling.)
+        """
+        if not 0.0 <= delay < Infinity:
+            raise self._bad_delay(delay)
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t.callbacks = t._spare
+            t._value = value
+            t.delay = delay
+        else:
+            t = Timeout.__new__(Timeout)
+            t.env = self
+            t.callbacks = []
+            t._value = value
+            t._ok = True
+            t._defused = False
+            t._pooled = True
+            t.delay = delay
+        _heappush(
+            self._queue,
+            (self._now + delay, NORMAL, next(self._seq), _process_event, t),
+        )
+        return t
 
     def event(self) -> Event:
         """A fresh untriggered event."""

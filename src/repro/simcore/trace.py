@@ -35,11 +35,20 @@ class Tracer:
         self._sinks: List[Callable[[TraceRecord], None]] = []
 
     def emit(self, time: float, source: str, kind: str, payload: Any = None) -> None:
-        """Record an event if tracing is enabled (and under the limit)."""
+        """Record an event if tracing is enabled (and under the limit).
+
+        Hot-path callers should either pre-check :attr:`enabled` before
+        building a payload, or pass a zero-argument callable as ``payload``
+        — it is only invoked (and its result recorded) when the record is
+        actually kept, so a disabled tracer never pays for payload
+        construction.
+        """
         if not self.enabled:
             return
         if self.limit is not None and len(self.records) >= self.limit:
             return
+        if callable(payload):
+            payload = payload()
         record = TraceRecord(time, source, kind, payload)
         self.records.append(record)
         for sink in self._sinks:

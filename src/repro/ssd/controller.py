@@ -15,7 +15,6 @@ from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 import numpy as np
 
 from ..errors import DeviceError
-from ..simcore.events import Event
 from .ftl import Ftl
 from .latency import OP_WRITE, SsdProfile
 from .queues import (
@@ -154,14 +153,12 @@ class NvmeController:
                 service *= self.service_scale
         self.busy_time += service
 
-        done = Event(self.env)
-        done._ok = True
-        done._value = (command, qpair, status)
-        done.callbacks.append(self._on_channel_done)
-        self.env.schedule(done, delay=service)
+        # Callback fast path: one tuple per channel completion instead of an
+        # Event object; heap position matches the old Event-based scheduling.
+        self.env.call_later(service, self._on_channel_done, (command, qpair, status))
 
-    def _on_channel_done(self, event: Event) -> None:
-        command, qpair, status = event._value
+    def _on_channel_done(self, done: Tuple[NvmeCommand, QueuePair, int]) -> None:
+        command, qpair, status = done
         self._free_channels += 1
         if status == STATUS_SUCCESS:
             self.commands_completed += 1

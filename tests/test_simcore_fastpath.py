@@ -1,0 +1,411 @@
+"""Tests for the callback fast path: call_later/call_at, pooling, determinism.
+
+The engine schedules two entry kinds on one heap — Events (process API) and
+plain callbacks (``call_later``/``call_at``).  These tests pin the contract
+that makes the fast path safe to use on hot paths:
+
+* callbacks and events share ``(time, priority, seq)`` tie-breaking exactly;
+* pooled Timeout recycling never resurrects a processed event;
+* delay validation rejects NaN/inf before they can corrupt heap ordering;
+* ``run(until=...)`` stops on time with callbacks still pending;
+* a scenario implemented process-style and callback-style replays to the
+  identical trace digest.
+"""
+
+import hashlib
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simcore import Environment, Event
+from repro.simcore.events import URGENT
+
+
+# ---------------------------------------------------------------------------
+# Tie-breaking: callbacks and events on the one heap
+# ---------------------------------------------------------------------------
+
+
+def test_callbacks_and_events_interleave_by_seq_at_equal_time():
+    """At equal (time, priority) ties break by scheduling order — across kinds."""
+    env = Environment()
+    order = []
+
+    def cb(tag):
+        order.append(tag)
+
+    def proc(env, tag):
+        yield env.timeout(5.0)
+        order.append(tag)
+
+    # Alternate the two APIs; all fire at t=5.0 with NORMAL priority.
+    env.process(proc(env, "ev0"))            # seq for its timeout taken at start
+    env.call_later(5.0, cb, "cb0")
+    env.process(proc(env, "ev1"))
+    env.call_later(5.0, cb, "cb1")
+
+    env.run()
+    # Process timeouts are scheduled when the generator first runs (at t=0,
+    # via the URGENT Initialize events), i.e. *after* both call_later calls.
+    assert order == ["cb0", "cb1", "ev0", "ev1"]
+
+
+def test_call_later_priority_breaks_time_ties():
+    env = Environment()
+    order = []
+    env.call_later(1.0, order.append, "normal")
+    env.call_later(1.0, order.append, "urgent", priority=URGENT)
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+def test_call_at_schedules_at_absolute_time():
+    env = Environment(initial_time=10.0)
+    seen = []
+
+    def record(arg):
+        seen.append((env.now, arg))
+
+    env.call_at(12.5, record, "x")
+    env.call_later(0.5, record, "y")
+    env.run()
+    assert seen == [(10.5, "y"), (12.5, "x")]
+
+
+def test_call_at_rejects_the_past():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(SimulationError):
+        env.call_at(9.0, lambda _: None)
+
+
+# ---------------------------------------------------------------------------
+# Satellite bugfix: NaN/inf delays must be rejected, not silently enqueued
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf"), -1.0])
+def test_schedule_rejects_nonfinite_and_negative_delays(delay):
+    env = Environment()
+    ev = Event(env)
+    ev._ok = True
+    ev._value = None
+    with pytest.raises(SimulationError):
+        env.schedule(ev, delay=delay)
+    assert len(env) == 0  # nothing reached the heap
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf"), float("-inf"), -0.5])
+def test_call_later_rejects_nonfinite_and_negative_delays(delay):
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_later(delay, lambda _: None)
+    assert len(env) == 0
+
+
+@pytest.mark.parametrize("t", [float("nan"), float("inf")])
+def test_call_at_rejects_nonfinite_times(t):
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.call_at(t, lambda _: None)
+
+
+@pytest.mark.parametrize("delay", [float("nan"), float("inf")])
+def test_timeout_rejects_nonfinite_delays(delay):
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(delay)
+
+
+def test_nan_delay_error_message_mentions_finiteness():
+    env = Environment()
+    with pytest.raises(SimulationError, match="finite"):
+        env.call_later(float("nan"), lambda _: None)
+    assert not math.isfinite(float("nan"))  # sanity on the premise
+
+
+# ---------------------------------------------------------------------------
+# Timeout pooling: recycling must never be observable
+# ---------------------------------------------------------------------------
+
+
+def test_pool_reuses_timeout_objects_across_process_yields():
+    env = Environment()
+    seen_ids = []
+
+    def proc(env):
+        for _ in range(4):
+            t = env.timeout(1.0)
+            seen_ids.append(id(t))
+            yield t
+
+    env.process(proc(env))
+    env.run()
+    # After the first yield completes, the object returns to the free list
+    # and the next env.timeout() hands it back: all later ids repeat.
+    assert len(set(seen_ids)) < len(seen_ids)
+
+
+def test_pooled_timeout_fires_exactly_once_per_issue():
+    """A recycled object must behave as a fresh event — one fire per issue."""
+    env = Environment()
+    fired = []
+
+    def proc(env, tag, n):
+        for i in range(n):
+            got = yield env.timeout(1.0, value=(tag, i))
+            fired.append(got)
+
+    env.process(proc(env, "a", 5))
+    env.process(proc(env, "b", 5))
+    env.run()
+    assert sorted(fired) == sorted([("a", i) for i in range(5)] + [("b", i) for i in range(5)])
+    assert env.now == 5.0
+
+
+def test_pool_does_not_capture_multi_waiter_timeouts():
+    """A timeout with two waiters is not pool-eligible (a live reference
+    could observe the recycled object)."""
+    env = Environment()
+    got = []
+
+    def waiter(env, shared, tag):
+        yield shared
+        got.append(tag)
+
+    shared = env.timeout(3.0)
+    env.process(waiter(env, shared, "w1"))
+    env.process(waiter(env, shared, "w2"))
+    env.run()
+    assert sorted(got) == ["w1", "w2"]
+    assert env._timeout_pool == []  # two callbacks -> not recycled
+    # The shared object is still inspectable (processed, not resurrected).
+    assert shared.processed
+
+
+def test_pool_does_not_capture_condition_members():
+    env = Environment()
+
+    def proc(env):
+        t1 = env.timeout(1.0, value="t1")
+        t2 = env.timeout(2.0, value="t2")
+        result = yield t1 & t2
+        return [e._value for e in result]
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == ["t1", "t2"]
+    # Condition members carry an extra _check callback -> never pooled.
+    assert env._timeout_pool == []
+
+
+def test_unpooled_timeout_constructor_opts_out():
+    from repro.simcore import Timeout
+
+    env = Environment()
+
+    def proc(env):
+        yield Timeout(env, 1.0)
+
+    env.process(proc(env))
+    env.run()
+    assert env._timeout_pool == []
+
+
+def test_recycled_timeout_is_clean_on_reissue():
+    env = Environment()
+
+    def proc(env):
+        first = env.timeout(1.0, value="first")
+        yield first
+        second = env.timeout(1.0, value="second")
+        assert second._value == "second"
+        assert second.callbacks == []  # no stale callbacks from first life
+        got = yield second
+        return got
+
+    p = env.process(proc(env))
+    env.run()
+    assert p.value == "second"
+
+
+def test_pool_is_bounded():
+    from repro.simcore import engine as engine_mod
+
+    env = Environment()
+
+    def sleeper(env):
+        yield env.timeout(1.0)
+
+    for _ in range(engine_mod._POOL_LIMIT + 200):
+        env.process(sleeper(env))
+    env.run()
+    assert len(env._timeout_pool) <= engine_mod._POOL_LIMIT
+
+
+# ---------------------------------------------------------------------------
+# run(until=...) with pending callbacks
+# ---------------------------------------------------------------------------
+
+
+def test_run_until_time_with_pending_callbacks():
+    env = Environment()
+    fired = []
+    env.call_later(1.0, fired.append, "early")
+    env.call_later(5.0, fired.append, "on-time")
+    env.call_later(9.0, fired.append, "late")
+    env.run(until=5.0)
+    # The URGENT stop event fires before the NORMAL callback at t=5.0.
+    assert fired == ["early"]
+    assert env.now == 5.0
+    assert len(env) == 2  # both un-run callbacks still queued
+    env.run()
+    assert fired == ["early", "on-time", "late"]
+
+
+def test_run_until_event_with_callbacks_in_flight():
+    env = Environment()
+    fired = []
+    done = Event(env)
+    env.call_later(2.0, fired.append, "a")
+    env.call_later(4.0, lambda _: done.succeed("stop"), None)
+    env.call_later(6.0, fired.append, "b")
+    value = env.run(until=done)
+    assert value == "stop"
+    assert fired == ["a"]
+    assert env.now == 4.0
+
+
+def test_step_dispatches_callbacks():
+    env = Environment()
+    fired = []
+    env.call_later(1.5, fired.append, "x")
+    env.step()
+    assert fired == ["x"]
+    assert env.now == 1.5
+
+
+# ---------------------------------------------------------------------------
+# Determinism audit: fast path vs legacy produce identical digests
+# ---------------------------------------------------------------------------
+
+def _digest(trace):
+    h = hashlib.sha256()
+    for entry in trace:
+        h.update(repr(entry).encode())
+    return h.hexdigest()
+
+
+def _scenario_legacy():
+    """A pinned mini-scenario: 3 producers feeding a server, process-style.
+
+    Each arrival is modelled with a raw Event (the pre-refactor idiom) and
+    the server charges deterministic per-item service times.
+    """
+    env = Environment()
+    trace = []
+    avail = [0.0]
+
+    def serve(item):
+        start = max(env.now, avail[0])
+        finish = start + 0.7
+        avail[0] = finish
+        done = Event(env)
+        done._ok = True
+        done._value = item
+        done.callbacks.append(lambda ev: trace.append((env.now, "done", ev._value)))
+        env.schedule(done, delay=finish - env.now)
+
+    def producer(env, tag, period, count):
+        for i in range(count):
+            yield env.timeout(period)
+            trace.append((env.now, "arrive", (tag, i)))
+            serve((tag, i))
+
+    env.process(producer(env, "a", 1.0, 10))
+    env.process(producer(env, "b", 1.5, 8))
+    env.process(producer(env, "c", 0.5, 14))
+    env.run()
+    return _digest(trace), env.now
+
+
+def _scenario_fastpath():
+    """The same scenario with arrivals and service on call_later."""
+    env = Environment()
+    trace = []
+    avail = [0.0]
+
+    def record_done(item):
+        trace.append((env.now, "done", item))
+
+    def serve(item):
+        start = max(env.now, avail[0])
+        finish = start + 0.7
+        avail[0] = finish
+        env.call_later(finish - env.now, record_done, item)
+
+    def arrive(token):
+        tag, i, period, count = token
+        trace.append((env.now, "arrive", (tag, i)))
+        serve((tag, i))
+        if i + 1 < count:
+            env.call_later(period, arrive, (tag, i + 1, period, count))
+
+    env.call_later(1.0, arrive, ("a", 0, 1.0, 10))
+    env.call_later(1.5, arrive, ("b", 0, 1.5, 8))
+    env.call_later(0.5, arrive, ("c", 0, 0.5, 14))
+    env.run()
+    return _digest(trace), env.now
+
+
+# The two implementations must agree with each other — and with this pinned
+# digest, so an engine change that shifts either one fails loudly.
+_PINNED_MINI_DIGEST = "c913fef59764ddfe67fed374993bf8b976cb9c5f31a0d945ea0b5d9af28b1f28"
+
+
+def test_fastpath_and_legacy_scenarios_produce_identical_digests():
+    legacy_digest, legacy_end = _scenario_legacy()
+    fast_digest, fast_end = _scenario_fastpath()
+    assert legacy_digest == fast_digest
+    assert legacy_end == fast_end
+    assert legacy_digest == _PINNED_MINI_DIGEST
+
+
+def test_fastpath_scenario_replays_identically():
+    assert _scenario_fastpath() == _scenario_fastpath()
+
+
+# ---------------------------------------------------------------------------
+# Tracer lazy payloads (satellite: no payload construction when disabled)
+# ---------------------------------------------------------------------------
+
+
+def test_tracer_lazy_payload_not_built_when_disabled():
+    from repro.simcore.trace import Tracer
+
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return {"expensive": True}
+
+    t = Tracer(enabled=False)
+    t.emit(0.0, "src", "kind", thunk)
+    assert calls == []  # never invoked
+    assert t.records == []
+
+    t = Tracer(enabled=True)
+    t.emit(1.0, "src", "kind", thunk)
+    assert calls == [1]
+    assert t.records[0].payload == {"expensive": True}
+
+
+def test_tracer_lazy_payload_not_built_past_limit():
+    from repro.simcore.trace import Tracer
+
+    calls = []
+    t = Tracer(enabled=True, limit=1)
+    t.emit(0.0, "s", "k", lambda: calls.append(1) or "p1")
+    t.emit(1.0, "s", "k", lambda: calls.append(2) or "p2")
+    assert len(t.records) == 1
+    assert calls == [1]
