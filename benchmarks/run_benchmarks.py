@@ -36,6 +36,10 @@ from repro.ssd import NvmeSsd, SsdProfile
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_core.json"
 
+#: The disabled control plane (qos_policy="static", no SLOs) must stay free:
+#: scenarios built without SLOs may cost at most this much extra wall clock.
+QOS_OFF_OVERHEAD_CEILING = 0.02
+
 
 def _best_of(fn, repeats: int = 3):
     """Run ``fn`` ``repeats`` times; return (best_elapsed_seconds, result)."""
@@ -209,6 +213,54 @@ def bench_fig7_sweep(total_ops: int) -> dict:
     return {"total_ops": total_ops, "protocols": out}
 
 
+def bench_qos_overhead(total_ops: int) -> dict:
+    """Zero-cost-when-off gate for the QoS control plane (fig7-style sweep).
+
+    The scenario layer promises that the default ``qos_policy="static"`` with
+    no SLOs builds no control plane at all — no telemetry taps, no controller
+    ticks, no token buckets.  This benchmark runs the fig7-style sweep with
+    the QoS fields at their explicit defaults against the plain config and
+    reports the wall-clock ratio; ``--check`` fails if the "off" control
+    plane costs more than 2%.  (The *monitoring* plane — an SLO attached
+    under static — is measured too, for the record, but not gated: streaming
+    per-completion estimators have a real, intentional cost.)
+    """
+    from repro.cluster.scenario import Scenario, ScenarioConfig
+    from repro.qos import TenantSlo
+    from repro.workloads.mixes import tenants_for_ratio
+
+    def one(qos_kwargs):
+        cfg = ScenarioConfig(
+            protocol="nvme-opf",
+            network_gbps=10.0,
+            op_mix="read",
+            total_ops=total_ops,
+            window_size=16,
+            seed=1,
+            **qos_kwargs,
+        )
+        scenario = Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read"))
+        return scenario.run()
+
+    one({})  # warm both code paths before timing
+    base_s, _ = _best_of(lambda: one({}), repeats=5)
+    off_s, _ = _best_of(
+        lambda: one(dict(qos_policy="static", qos_interval_us=200.0)), repeats=5
+    )
+    monitored_s, _ = _best_of(
+        lambda: one(dict(slos=(TenantSlo("ls0", p99_ceiling_us=50_000.0),))),
+        repeats=5,
+    )
+    return {
+        "total_ops": total_ops,
+        "baseline_seconds": base_s,
+        "static_off_seconds": off_s,
+        "static_off_overhead_frac": off_s / base_s - 1.0,
+        "monitored_seconds": monitored_s,
+        "monitored_overhead_frac": monitored_s / base_s - 1.0,
+    }
+
+
 # -- driver -------------------------------------------------------------------
 
 def run_all(fast: bool) -> dict:
@@ -221,6 +273,7 @@ def run_all(fast: bool) -> dict:
         "tcp_bulk": bench_tcp_bulk(256 // (2 if fast else 1)),
         "ssd_pipeline": bench_ssd_pipeline(20_000 // scale),
         "fig7_sweep": bench_fig7_sweep(200),
+        "qos_overhead": bench_qos_overhead(200 if fast else 400),
     }
     return results
 
@@ -244,6 +297,18 @@ def check(current: dict, committed: dict, tolerance: float) -> int:
             f"(floor {floor:,.0f}) -> {status}"
         )
         if cur < floor:
+            failures += 1
+    qos = current.get("qos_overhead")
+    if qos:
+        # Absolute gate, not baseline-relative: "off" must stay off.
+        overhead = qos["static_off_overhead_frac"]
+        status = "ok" if overhead <= QOS_OFF_OVERHEAD_CEILING else "REGRESSION"
+        print(
+            f"check: qos_overhead: static-off adds {overhead:+.2%} "
+            f"(ceiling {QOS_OFF_OVERHEAD_CEILING:.0%}) -> {status} "
+            f"[monitored adds {qos['monitored_overhead_frac']:+.2%}, ungated]"
+        )
+        if overhead > QOS_OFF_OVERHEAD_CEILING:
             failures += 1
     return failures
 

@@ -39,6 +39,13 @@ from .core import (
 from .errors import ReproError
 from .metrics import Collector, LatencyDistribution, format_table
 from .nvmeof import NvmeOfInitiator, NvmeOfTarget
+from .qos import (
+    POLICY_AIMD_WINDOW,
+    POLICY_SLO_GUARD,
+    POLICY_STATIC,
+    QosReport,
+    TenantSlo,
+)
 from .simcore import Environment, RandomStreams
 from .ssd import NvmeSsd, SsdProfile
 from .workloads import (
@@ -64,11 +71,15 @@ __all__ = [
     "OpfInitiator",
     "OpfTarget",
     "PAPER_RATIOS",
+    "POLICY_AIMD_WINDOW",
+    "POLICY_SLO_GUARD",
+    "POLICY_STATIC",
     "PROTOCOL_OPF",
     "PROTOCOL_SPDK",
     "PerfConfig",
     "PerfGenerator",
     "Priority",
+    "QosReport",
     "RandomStreams",
     "ReproError",
     "Scenario",
@@ -77,6 +88,7 @@ __all__ = [
     "SharedQueueOpfTarget",
     "SsdProfile",
     "TargetNode",
+    "TenantSlo",
     "TenantSpec",
     "format_table",
     "network_tuning",

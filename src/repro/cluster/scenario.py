@@ -26,6 +26,12 @@ from ..metrics.percentile import LatencyDistribution
 from ..metrics.report import jain_fairness
 from ..net.topology import Fabric
 from ..nvmeof.discovery import DiscoveryService
+from ..qos.controller import DEFAULT_INTERVAL_US, QosController, TenantHandle
+from ..qos.policy import POLICY_NAMES, POLICY_STATIC, make_policy
+from ..qos.report import QosReport
+from ..qos.slo import SloSet, TenantSlo
+from ..qos.telemetry import TelemetryHub
+from ..qos.throttle import TokenBucket
 from ..simcore.engine import Environment
 from ..simcore.rng import RandomStreams
 from ..ssd.ftl import FtlConfig
@@ -40,6 +46,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.schedule import FaultSchedule
 
 _HUGE_OPS = 10**9  # effectively unbounded quota for open-ended LS tenants
+
+
+def _start_generator(gen: "PerfGenerator") -> None:
+    """call_later trampoline for staged tenant arrivals."""
+    gen.start()
 
 #: InitiatorStats counters rolled up into :attr:`ScenarioResult.recovery`.
 _RECOVERY_COUNTERS = (
@@ -83,6 +94,15 @@ class ScenarioConfig:
     #: Initiator-side timeout/retry/reconnect policy.  Required for chaos
     #: runs that sever connections or lose commands; optional otherwise.
     retry_policy: Optional["RetryPolicy"] = None
+    #: QoS control plane.  ``"static"`` with no SLOs (the default) builds no
+    #: control plane at all — every pre-QoS golden digest is bit-identical.
+    #: Any SLO or a non-static policy arms telemetry taps, token buckets,
+    #: and the periodic controller (see ``repro.qos``).
+    qos_policy: str = POLICY_STATIC
+    slos: Tuple[TenantSlo, ...] = ()
+    qos_interval_us: float = DEFAULT_INTERVAL_US
+    #: Policy tuning overrides forwarded to :func:`repro.qos.make_policy`.
+    qos_params: Optional[Dict[str, float]] = None
 
     def __post_init__(self) -> None:
         if self.protocol not in PROTOCOLS:
@@ -93,6 +113,18 @@ class ScenarioConfig:
             raise ConfigError("total_ops must be >= 1")
         if self.warmup_us < 0:
             raise ConfigError("warmup must be non-negative")
+        if self.qos_policy not in POLICY_NAMES:
+            raise ConfigError(
+                f"unknown QoS policy {self.qos_policy!r}; choose from {POLICY_NAMES}"
+            )
+        if self.qos_interval_us <= 0:
+            raise ConfigError("QoS control interval must be positive")
+        self.slos = tuple(self.slos)
+
+    @property
+    def qos_enabled(self) -> bool:
+        """Whether this scenario builds the QoS control plane."""
+        return self.qos_policy != POLICY_STATIC or bool(self.slos)
 
     def effective_costs(self) -> CpuCostModel:
         """The cost model adjusted for the transport binding.
@@ -151,6 +183,13 @@ class ScenarioResult:
     #: Jain's fairness index over per-TC-tenant throughput (None when the
     #: run has fewer than two TC tenants).
     fairness_index: Optional[float] = None
+    #: QoS control-plane counters (empty when no control plane was built):
+    #: controller ticks, actions applied, paced sends, and per-tenant SLO
+    #: violation time/intervals.  Digest lines appear only when nonzero.
+    qos: Dict[str, object] = field(default_factory=dict)
+    #: Full control-plane record — SLO attainment, violation intervals, and
+    #: the controller action log (None when no control plane was built).
+    qos_report: Optional[QosReport] = None
     #: EventCounter snapshot: fault inject/revert + recovery event counts.
     fault_events: Dict[str, int] = field(default_factory=dict)
     #: Canonical injector trace ("" when the scenario ran without chaos).
@@ -204,6 +243,13 @@ class ScenarioResult:
         for key in sorted(self.opf):
             if self.opf[key]:
                 lines.append(f"opf/{key}={self.opf[key]}")
+        # qos counters follow the opf only-when-nonzero rule: scenarios that
+        # built no control plane emit nothing (their digests stay
+        # byte-identical to pre-QoS pins), and a zero-valued counter on a
+        # qos run adds no line either.
+        for key in sorted(self.qos):
+            if self.qos[key]:
+                lines.append(f"qos/{key}={self.qos[key]!r}")
         for key in sorted(self.fault_events):
             lines.append(f"event/{key}={self.fault_events[key]}")
         if self.fault_trace:
@@ -243,6 +289,7 @@ class Scenario:
         self.generators: List[PerfGenerator] = []
         self._tenant_assignments: List[Tuple[TenantSpec, InitiatorNode, TargetNode, int]] = []
         self.injector: Optional["Injector"] = None
+        self.qos_controller: Optional[QosController] = None
         self._ran = False
 
     # -- construction ----------------------------------------------------------------
@@ -311,8 +358,24 @@ class Scenario:
         cfg = self.config
         env = self.env
 
+        # QoS control plane (built only when the config asks for it: the
+        # default static/no-SLO path must not even attach the taps).
+        qos_hub: Optional[TelemetryHub] = None
+        qos_handles: List[TenantHandle] = []
+        slo_set = SloSet(cfg.slos)
+        if cfg.qos_enabled:
+            qos_hub = TelemetryHub()
+            declared = {spec.name for spec, _i, _t, _n in self._tenant_assignments}
+            for slo in slo_set:
+                if slo.tenant not in declared:
+                    raise ConfigError(
+                        f"SLO names unknown tenant {slo.tenant!r}; declared: "
+                        f"{sorted(declared)}"
+                    )
+
         # Instantiate initiators + workloads.
         connect_events = []
+        start_delays: List[float] = []
         tc_generators: List[PerfGenerator] = []
         ls_generators: List[PerfGenerator] = []
         for spec, inode, tnode, nsid in self._tenant_assignments:
@@ -335,7 +398,23 @@ class Scenario:
                 ),
                 events=self.collector.events if cfg.retry_policy is not None else None,
             )
+            if qos_hub is not None:
+                telemetry = qos_hub.register(spec.name)
+                initiator.qos_tap = telemetry.observe_request
+                throttle = TokenBucket()
+                initiator.qos_throttle = throttle
+                qos_handles.append(
+                    TenantHandle(
+                        spec.name,
+                        spec.priority,
+                        initiator,
+                        telemetry,
+                        throttle,
+                        slo_set.for_tenant(spec.name),
+                    )
+                )
             connect_events.append(initiator.connect())
+            start_delays.append(spec.start_delay_us)
             is_ls = spec.priority is Priority.LATENCY
             total = (
                 cfg.ls_total_ops
@@ -367,11 +446,28 @@ class Scenario:
             self.injector = self._build_injector(cfg.chaos)
             self.injector.start()
 
+        if qos_handles:
+            self.qos_controller = QosController(
+                env,
+                make_policy(cfg.qos_policy, cfg.qos_params),
+                qos_handles,
+                QosReport(policy=cfg.qos_policy, interval_us=cfg.qos_interval_us),
+                interval_us=cfg.qos_interval_us,
+            )
+
         # Handshakes first, then workloads, then the measurement window.
         env.run(until=env.all_of(connect_events))
         workload_start = env.now
-        for gen in self.generators:
-            gen.start()
+        if self.qos_controller is not None:
+            self.qos_controller.start()
+        for gen, delay in zip(self.generators, start_delays):
+            if delay > 0.0:
+                # Staged arrival (e.g. a mid-run TC burst): the generator's
+                # done event exists from construction, so quota accounting
+                # below is oblivious to when the workload actually starts.
+                env.call_later(delay, _start_generator, gen)
+            else:
+                gen.start()
 
         marker_armed = [True]
 
@@ -400,7 +496,11 @@ class Scenario:
             self.collector.set_window(workload_start, env.now)
         self.collector.ensure_window(fallback_start=workload_start)
 
-        # Quiesce: stop open-ended tenants and let in-flight work land.
+        # Quiesce: stop open-ended tenants and let in-flight work land.  The
+        # controller stops first — a still-armed tick would reschedule itself
+        # forever and the drain below would never run dry.
+        if self.qos_controller is not None:
+            self.qos_controller.stop()
         if tc_generators:
             for gen in ls_generators:
                 gen.stop()
@@ -532,6 +632,14 @@ class Scenario:
             recovery=recovery,
             opf=opf,
             fairness_index=fairness,
+            qos=(
+                self.qos_controller.report.digest_items()
+                if self.qos_controller is not None
+                else {}
+            ),
+            qos_report=(
+                self.qos_controller.report if self.qos_controller is not None else None
+            ),
             fault_events=collector.events.snapshot(),
             fault_trace=(
                 self.injector.trace_bytes().decode() if self.injector is not None else ""

@@ -119,6 +119,23 @@ class OpfInitiator(NvmeOfInitiator):
     def pending_undrained(self) -> int:
         return self.pm.pending_undrained
 
+    def apply_window(self, window: int) -> int:
+        """Resize the coalescing window online (the QoS controller's knob).
+
+        The request is clamped to the live-lock-safe range (§IV-A) before it
+        reaches the Priority Manager, so a policy can ask for "queue depth"
+        and get the largest safe window.  A shrink whose pending partial
+        window already meets the new size is flushed immediately with a
+        drain marker — the resize takes effect this control interval, not
+        after ``old - new`` more sends.  Drain epochs, window membership,
+        and restamp state are untouched: a resized window retires exactly
+        like an original one, even mid-chaos.  Returns the applied size.
+        """
+        window = clamp_to_queue_depth(int(window), self.qpair.queue_depth)
+        if window != self.pm.window_size and self.pm.resize(window):
+            self.drain()
+        return window
+
     # -- Alg. 1: before send ---------------------------------------------------------
     def _fill_reserved(self, sqe: Sqe, request: IoRequest) -> None:
         if request.priority is Priority.THROUGHPUT and self.pm.is_registered(sqe.cid):

@@ -48,6 +48,7 @@ class InitiatorPriorityManager:
             )
         self.window_size = window_size
         self.queue_depth = queue_depth
+        self.allow_lock = allow_lock
         self.cid_queue = CidQueue()
         self._since_drain = 0
         self.drains_sent = 0
@@ -123,6 +124,28 @@ class InitiatorPriorityManager:
     def is_registered(self, cid: int) -> bool:
         """Whether ``cid`` is currently a member of the pending window."""
         return cid in self.cid_queue
+
+    def resize(self, window_size: int) -> bool:
+        """Adopt a new window size mid-stream (the QoS control plane's knob).
+
+        Validated like construction (§IV-A live-lock guard).  Window
+        membership, the drain epoch, and outstanding drains are all kept:
+        resizing changes only *future* draining decisions.  The since-drain
+        counter is likewise preserved — when it already meets a *smaller*
+        window the next TC send carries the draining flag, so a shrink takes
+        effect within one send.  Returns True when the pending partial
+        window already satisfies the new size (callers may flush it
+        immediately instead of waiting for that next send).
+        """
+        if window_size < 1:
+            raise ConfigError("window size must be >= 1")
+        if window_size > self.queue_depth and not self.allow_lock:
+            raise ConfigError(
+                f"window {window_size} > queue depth {self.queue_depth} would "
+                f"live-lock the initiator (pass allow_lock=True to demonstrate)"
+            )
+        self.window_size = window_size
+        return self._since_drain >= window_size
 
     def force_drain_flags(self, sqe: "Sqe", tenant_id: int, forced: bool = False) -> None:
         """Stamp an explicit drain marker (flush command carrying DRAINING).

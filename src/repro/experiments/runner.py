@@ -22,6 +22,7 @@ from .fig6 import run_fig6a, run_fig6b, run_fig6c
 from .fig7 import run_fig7
 from .fig8 import run_fig8
 from .fig9 import run_fig9
+from .qos import run_qos_aimd, run_qos_guard
 from .table1 import run_table1
 
 
@@ -75,6 +76,13 @@ def _fig9(quick: bool):
     )
 
 
+def _qos(quick: bool):
+    run_qos_guard(total_ops=4_000 if quick else 9_000, print_table=True)
+    print()
+    run_qos_aimd(total_ops_online=4_000 if quick else 8_000, print_table=True)
+    return None
+
+
 def _validate(quick: bool):
     from .validate import main_validate
 
@@ -90,6 +98,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "fig7": _fig7,
     "fig8": _fig8,
     "fig9": _fig9,
+    "qos": _qos,
     "validate": _validate,
 }
 

@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.recovery import RetryPolicy
     from ..metrics.collector import Collector
     from ..metrics.events import EventCounter
+    from ..qos.throttle import TokenBucket
     from ..simcore.engine import Environment
 
 from .transport import PduTransport
@@ -59,6 +60,8 @@ class InitiatorStats:
         "deferred_sends",
         "resent_on_reconnect",
         "dropped_disconnected",
+        # -- QoS admission control (zero when no throttle is attached)
+        "throttle_delays",
     )
 
     def __init__(self) -> None:
@@ -79,6 +82,7 @@ class InitiatorStats:
         self.deferred_sends = 0
         self.resent_on_reconnect = 0
         self.dropped_disconnected = 0
+        self.throttle_delays = 0
 
 
 class NvmeOfInitiator:
@@ -115,6 +119,13 @@ class NvmeOfInitiator:
         self._connected = False
         #: Completion hook for closed-loop workload generators.
         self.on_request_complete: Optional[Callable[[IoRequest], None]] = None
+        # -- QoS control-plane hooks (inert unless a scenario attaches them) --
+        #: Streaming telemetry tap, called with every completed request
+        #: (see :mod:`repro.qos.telemetry`); costs no simulated time.
+        self.qos_tap: Optional[Callable[[IoRequest], None]] = None
+        #: Token-bucket admission gate on the send path (see
+        #: :mod:`repro.qos.throttle`); None or unlimited = today's behaviour.
+        self.qos_throttle: Optional["TokenBucket"] = None
         # -- recovery state (inert unless retry_policy is set) ----------------
         self.retry_policy = retry_policy
         self.recovery_rng = recovery_rng
@@ -123,6 +134,8 @@ class NvmeOfInitiator:
         #: and resend events carry (cid, attempt); a mismatch marks them
         #: stale (timeouts are never cancelled, just ignored when stale).
         self._attempts: Dict[int, int] = {}
+        #: CIDs currently held in an admission-pacing delay (not on the wire).
+        self._paced_cids: set = set()
         self._ever_connected = False
         self._reconnecting = False
         self._reconnect_round = 0
@@ -211,10 +224,44 @@ class NvmeOfInitiator:
             self._arm_watchdog(request.cid, 0)
         return request
 
-    def _send_command(self, request: IoRequest) -> None:
+    def _send_command(self, request: IoRequest, admit: bool = True) -> None:
+        if self.retry_policy is not None and not self._connected:
+            # Disconnected: defer before touching the throttle so a dead
+            # session never burns admission tokens.
+            self.stats.deferred_sends += 1
+            self._count("recovery/deferred_send")
+            return
+        throttle = self.qos_throttle
+        if throttle is not None and admit:
+            wait = throttle.reserve(request.nbytes, self.env.now)
+            if wait > 0.0:
+                # Admission control: pace the send, never drop it.  The
+                # command watchdog (if armed) keeps its deadline — a pacing
+                # delay that outlives the timeout surfaces as a retry, which
+                # is the right failure mode for a misconfigured throttle.
+                self.stats.throttle_delays += 1
+                self._count("qos/throttle_delay")
+                self._paced_cids.add(request.cid)
+                self.env.call_later(
+                    wait, self._send_paced, (request, self._attempts.get(request.cid))
+                )
+                return
+        self._send_ready(request)
+
+    def _send_paced(self, token: "tuple[IoRequest, Optional[int]]") -> None:
+        request, attempt = token
+        self._paced_cids.discard(request.cid)
+        if self.retry_policy is not None and self._attempts.get(request.cid) != attempt:
+            # A retry (or completion) superseded this send while it sat in
+            # the pacing delay — the newer attempt owns the wire now.
+            return
+        self._send_ready(request)
+
+    def _send_ready(self, request: IoRequest) -> None:
         if self.retry_policy is not None and not self._connected:
             # Disconnected: skip the wire entirely.  The command stays
             # outstanding and is resent after the reconnect handshake.
+            # (Re-checked here: a disconnect can land during a pacing delay.)
             self.stats.deferred_sends += 1
             self._count("recovery/deferred_send")
             return
@@ -294,6 +341,8 @@ class NvmeOfInitiator:
             self.stats.failed += 1
         if self.collector is not None:
             self.collector.record(self.name, request)
+        if self.qos_tap is not None:
+            self.qos_tap(request)
         if self.on_request_complete is not None:
             self.on_request_complete(request)
         return request
@@ -316,6 +365,13 @@ class NvmeOfInitiator:
         cid, attempt = token
         if self.qpair.peek(cid) is None or self._attempts.get(cid) != attempt:
             return  # completed, or a newer attempt owns this command
+        if cid in self._paced_cids:
+            # Still held by admission pacing — the command never reached the
+            # wire, so the fabric cannot have lost it.  Counting this as a
+            # timeout would retry (and re-admit) work the throttle is
+            # deliberately delaying; give it a fresh deadline instead.
+            self._arm_watchdog(cid, attempt)
+            return
         self.stats.timeouts += 1
         self._count("recovery/timeout")
         if attempt >= self.retry_policy.max_retries:
@@ -342,7 +398,11 @@ class NvmeOfInitiator:
             return
         self.stats.retries += 1
         self._count("recovery/retry")
-        self._send_command(request)  # deferred internally while disconnected
+        # Recovery resends bypass admission control: the bytes were already
+        # admitted on the first attempt, and re-debiting the bucket would
+        # compound the deficit until pacing outlives every watchdog — a
+        # retry spiral that exhausts commands the fabric could deliver.
+        self._send_command(request, admit=False)  # deferred while disconnected
         self._arm_watchdog(cid, attempt)
 
     def _exhaust(self, cid: int) -> None:
@@ -405,7 +465,9 @@ class NvmeOfInitiator:
         for cid, request in self.qpair.outstanding_requests().items():
             self._attempts[cid] = 0
             self.stats.resent_on_reconnect += 1
-            self._send_command(request)
+            # Already-admitted work: re-debiting a whole qpair of bytes on
+            # reconnect would start the new session in deep pacing deficit.
+            self._send_command(request, admit=False)
             self._arm_watchdog(cid, 0)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

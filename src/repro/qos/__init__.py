@@ -1,0 +1,77 @@
+"""SLO-driven adaptive QoS control plane (``repro.qos``).
+
+The closed-loop layer over the NVMe-oPF stack: per-tenant SLOs
+(:mod:`.slo`), O(1) streaming telemetry taps (:mod:`.telemetry`), a
+deterministic periodic feedback controller (:mod:`.controller`) acting
+through window resizes and token-bucket admission throttles
+(:mod:`.throttle`), pluggable policies (:mod:`.policy`), and per-run SLO
+attainment / action-log reporting (:mod:`.report`).
+
+Scenarios opt in through :class:`~repro.cluster.scenario.ScenarioConfig`
+(``qos_policy=`` / ``slos=``).  The default ``static`` policy with no SLOs
+builds nothing, so every pre-QoS golden digest stays bit-identical.
+"""
+
+from .controller import (
+    DEFAULT_INTERVAL_US,
+    QosController,
+    TenantHandle,
+    WARMUP_OPS,
+)
+from .policy import (
+    ACTION_RATE,
+    ACTION_WINDOW,
+    AimdWindowPolicy,
+    POLICY_AIMD_WINDOW,
+    POLICY_NAMES,
+    POLICY_SLO_GUARD,
+    POLICY_STATIC,
+    QosAction,
+    QosPolicy,
+    SloGuardPolicy,
+    StaticPolicy,
+    TenantView,
+    make_policy,
+)
+from .report import ControllerAction, QosReport, SloTrack
+from .slo import SloSet, TenantSlo
+from .telemetry import (
+    Ewma,
+    MIN_TAIL_SAMPLES,
+    TelemetryHub,
+    TelemetrySample,
+    TenantTelemetry,
+)
+from .throttle import DEFAULT_BURST_BYTES, TokenBucket
+
+__all__ = [
+    "ACTION_RATE",
+    "ACTION_WINDOW",
+    "AimdWindowPolicy",
+    "ControllerAction",
+    "DEFAULT_BURST_BYTES",
+    "DEFAULT_INTERVAL_US",
+    "Ewma",
+    "MIN_TAIL_SAMPLES",
+    "POLICY_AIMD_WINDOW",
+    "POLICY_NAMES",
+    "POLICY_SLO_GUARD",
+    "POLICY_STATIC",
+    "QosAction",
+    "QosController",
+    "QosPolicy",
+    "QosReport",
+    "SloGuardPolicy",
+    "SloSet",
+    "SloTrack",
+    "StaticPolicy",
+    "TelemetryHub",
+    "TelemetrySample",
+    "TenantHandle",
+    "TenantSlo",
+    "TenantTelemetry",
+    "TenantView",
+    "TokenBucket",
+    "WARMUP_OPS",
+    "make_policy",
+]

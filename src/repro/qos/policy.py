@@ -1,0 +1,382 @@
+"""Pluggable QoS policies.
+
+A policy is the decision kernel of the control loop: every controller tick
+it receives one :class:`TenantView` per tenant (telemetry sample + SLO +
+current actuator settings) and returns the actions to apply.  Policies are
+pure state machines over those views — no clock access, no randomness — so
+the controller's action log is a deterministic function of the seed.
+
+Three policies ship:
+
+``static``
+    Today's behaviour and the default: observe, never act.  A scenario with
+    ``qos_policy="static"`` and no SLOs builds no control plane at all, so
+    every pre-QoS golden digest stays bit-identical; with SLOs attached it
+    becomes a monitoring-only plane (attainment accounting, zero actions).
+
+``aimd-window``
+    Re-tunes each oPF throughput-critical tenant's coalescing window online:
+    additive increase while interval throughput holds, multiplicative
+    decrease (halving) when it regresses — converging to the Fig. 6 peak
+    without an offline sweep.
+
+``slo-guard``
+    Defends latency-sensitive SLOs: when an LS tenant's recent-peak latency
+    approaches its p99 ceiling (``guard_margin``), every throughput-critical
+    tenant's admission rate is cut multiplicatively (token bucket); after
+    the breach clears the rates recover additively up to just below the
+    remembered breach level — AIMD on admission rate with a ratcheting cap,
+    which parks each TC tenant at the congestion knee instead of re-probing
+    through the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.flags import Priority
+from ..errors import ConfigError
+from .slo import TenantSlo
+from .telemetry import TelemetrySample
+
+POLICY_STATIC = "static"
+POLICY_AIMD_WINDOW = "aimd-window"
+POLICY_SLO_GUARD = "slo-guard"
+POLICY_NAMES = (POLICY_STATIC, POLICY_AIMD_WINDOW, POLICY_SLO_GUARD)
+
+#: Action kinds a policy may emit.
+ACTION_WINDOW = "window"
+ACTION_RATE = "rate"
+
+
+@dataclass(frozen=True)
+class TenantView:
+    """Everything a policy may look at for one tenant, one tick."""
+
+    name: str
+    priority: Priority
+    sample: TelemetrySample
+    slo: Optional[TenantSlo]
+    #: Whether the controller judged this tenant's SLO breached this tick.
+    violated: bool
+    #: Current coalescing window (None for non-oPF initiators).
+    window: Optional[int]
+    #: Current admission rate (None = unthrottled).
+    rate_mbps: Optional[float]
+    queue_depth: int
+
+    @property
+    def is_latency_sensitive(self) -> bool:
+        return self.priority is Priority.LATENCY
+
+    @property
+    def is_throughput_critical(self) -> bool:
+        return self.priority is Priority.THROUGHPUT
+
+
+@dataclass(frozen=True)
+class QosAction:
+    """One actuator change: set ``tenant``'s ``kind`` knob to ``value``."""
+
+    tenant: str
+    kind: str
+    value: Optional[float]
+
+
+class QosPolicy:
+    """Base policy: observe everything, change nothing."""
+
+    name = POLICY_STATIC
+
+    def decide(self, views: List[TenantView]) -> List[QosAction]:
+        return []
+
+
+class StaticPolicy(QosPolicy):
+    """The default: today's open-loop behaviour (monitoring only)."""
+
+
+@dataclass
+class _AimdState:
+    #: Non-idle ticks accumulated into the current epoch.
+    epoch_ticks: int = 0
+    epoch_sum_mbps: float = 0.0
+    #: Epoch-averaged throughput at the previous window setting.
+    last_epoch_mbps: Optional[float] = None
+
+
+class AimdWindowPolicy(QosPolicy):
+    """Online window tuning: additive increase, multiplicative decrease.
+
+    Per TC tenant: hold each window for ``hold_ticks`` non-idle controller
+    ticks and average the interval throughput over the epoch — coalesced
+    completions land in window-sized bursts, so a single tick is far too
+    noisy a gradient signal.  While the epoch average is no worse than the
+    previous epoch's (within ``tolerance``), grow the window by
+    ``increase_step``; on a regression, halve it.  The walk climbs to the
+    throughput plateau from either side and then stays within a factor of
+    two of the peak — the controller clamps every resize to the
+    live-lock-safe range [1, queue_depth // 2] (§IV-A).
+    """
+
+    name = POLICY_AIMD_WINDOW
+
+    def __init__(
+        self,
+        increase_step: int = 4,
+        tolerance: float = 0.08,
+        hold_ticks: int = 4,
+    ) -> None:
+        if increase_step < 1:
+            raise ConfigError("AIMD increase step must be >= 1")
+        if not 0.0 <= tolerance < 1.0:
+            raise ConfigError("AIMD tolerance must be in [0, 1)")
+        if hold_ticks < 1:
+            raise ConfigError("AIMD hold must be >= 1 tick")
+        self.increase_step = increase_step
+        self.tolerance = tolerance
+        self.hold_ticks = hold_ticks
+        self._state: Dict[str, _AimdState] = {}
+
+    def decide(self, views: List[TenantView]) -> List[QosAction]:
+        actions: List[QosAction] = []
+        for view in views:
+            if not view.is_throughput_critical or view.window is None:
+                continue
+            if view.sample.ops == 0:
+                continue  # idle interval: no gradient information
+            state = self._state.setdefault(view.name, _AimdState())
+            state.epoch_ticks += 1
+            state.epoch_sum_mbps += view.sample.throughput_mbps
+            if state.epoch_ticks < self.hold_ticks:
+                continue  # epoch still accumulating
+            average = state.epoch_sum_mbps / state.epoch_ticks
+            state.epoch_ticks = 0
+            state.epoch_sum_mbps = 0.0
+            last = state.last_epoch_mbps
+            state.last_epoch_mbps = average
+            if last is None or average >= last * (1.0 - self.tolerance):
+                # First epoch probes upward too: the starting window is a
+                # guess, and the clamp bounds how far a wrong guess can run.
+                target = view.window + self.increase_step
+            else:
+                target = max(1, view.window // 2)
+            if target != view.window:
+                actions.append(QosAction(view.name, ACTION_WINDOW, float(target)))
+        return actions
+
+
+@dataclass
+class _GuardState:
+    #: Best unthrottled interval throughput seen — bounds the throttle floor.
+    baseline_mbps: float = 0.0
+    #: Admission level remembered from the last breach — recovery never
+    #: climbs past ``headroom`` of it, so a defended tenant settles just
+    #: below the congestion knee instead of re-probing into a breach.
+    cap_mbps: Optional[float] = None
+    #: Consecutive controller ticks with zero completions.  Coalescing
+    #: retires ops in window-sized bursts, so a single empty interval means
+    #: nothing; a long streak means the tenant really stopped.
+    idle_ticks: int = 0
+
+
+class SloGuardPolicy(QosPolicy):
+    """Defend LS p99 ceilings by rate-limiting TC tenants (AIMD on rate).
+
+    Breach detection is *preemptive*: the guard reacts when an LS tenant's
+    recent-peak latency crosses ``guard_margin`` of its ceiling, before the
+    SLO is legally violated — the queue behind a saturated fabric takes
+    several control intervals to drain, so waiting for the ceiling itself
+    would bill that whole drain to the violation ledger.  On breach every
+    TC tenant's admission rate is cut multiplicatively and the offending
+    level is remembered; after the breach clears, rates recover additively
+    up to ``headroom`` of the remembered level and hold there.  The knee is
+    found by ratcheting: a recovery that still breaches lowers the cap
+    again, so repeated cycles converge from above without oscillating.
+    """
+
+    name = POLICY_SLO_GUARD
+
+    def __init__(
+        self,
+        decrease_factor: float = 0.5,
+        recover_step_frac: float = 0.08,
+        min_share: float = 0.15,
+        recover_after_ticks: int = 2,
+        guard_margin: float = 0.85,
+        headroom: float = 0.9,
+    ) -> None:
+        if not 0.0 < decrease_factor < 1.0:
+            raise ConfigError("decrease factor must be in (0, 1)")
+        if not 0.0 < recover_step_frac <= 1.0:
+            raise ConfigError("recovery step must be in (0, 1]")
+        if not 0.0 < min_share <= 1.0:
+            raise ConfigError("minimum share must be in (0, 1]")
+        if recover_after_ticks < 1:
+            raise ConfigError("recovery patience must be >= 1 tick")
+        if not 0.0 < guard_margin <= 1.0:
+            raise ConfigError("guard margin must be in (0, 1]")
+        if not 0.0 < headroom <= 1.0:
+            raise ConfigError("headroom must be in (0, 1]")
+        self.decrease_factor = decrease_factor
+        self.recover_step_frac = recover_step_frac
+        self.min_share = min_share
+        self.recover_after_ticks = recover_after_ticks
+        self.guard_margin = guard_margin
+        self.headroom = headroom
+        self._state: Dict[str, _GuardState] = {}
+        self._healthy_ticks = 0
+        #: Consecutive breached ticks in the current episode (0 = healthy).
+        self._breach_ticks = 0
+        #: Ticks a cut is given to drain the queue before cutting deeper.
+        #: A saturated fabric holds up to a full qpair of TC data in front
+        #: of the LS tenant; that backlog keeps the latency signal pinned
+        #: for several intervals after admission is already shed.
+        self.escalate_after_ticks = 4
+        #: TC tenants active when the cap was last ratcheted.  A cap learned
+        #: under a transient burst must not throttle the survivors forever:
+        #: when the contention visibly drops (a TC tenant goes idle — quota
+        #:  done, disconnected), every cap is released and the additive
+        #: recovery climbs back to unthrottled.  Blind time-based probing is
+        #: deliberately NOT done — the latency signal lags the backlog it
+        #: measures by many ticks, so a probe loop overshoots the knee hard
+        #: before the guard can see it.
+        self._breach_active_tc: Optional[int] = None
+        #: Empty ticks before a TC tenant counts as gone (vs a coalescing
+        #: gap between completion bursts).
+        self.idle_release_ticks = 10
+
+    def _active_tc(self, views: List[TenantView]) -> int:
+        return sum(
+            1
+            for v in views
+            if v.is_throughput_critical
+            and self._state[v.name].idle_ticks < self.idle_release_ticks
+        )
+
+    def _ls_pressured(self, view: TenantView) -> bool:
+        if view.violated:
+            return True
+        slo = view.slo
+        if slo is None or slo.p99_ceiling_us is None:
+            return False
+        peak = view.sample.recent_peak_us
+        return peak is not None and peak > self.guard_margin * slo.p99_ceiling_us
+
+    def decide(self, views: List[TenantView]) -> List[QosAction]:
+        breached = any(self._ls_pressured(v) for v in views if v.is_latency_sensitive)
+        actions: List[QosAction] = []
+        for view in views:
+            if not view.is_throughput_critical:
+                continue
+            state = self._state.setdefault(view.name, _GuardState())
+            state.idle_ticks = 0 if view.sample.ops > 0 else state.idle_ticks + 1
+            if view.rate_mbps is None and view.sample.ops > 0:
+                # Baselines come from the de-burst signal: a coalesced
+                # completion burst can land 2x the line rate in one tick,
+                # and a baseline learned from such a spike would let the
+                # recovery "unthrottle" mid-congestion.
+                state.baseline_mbps = max(state.baseline_mbps, view.sample.smoothed_mbps)
+        if breached:
+            self._healthy_ticks = 0
+            self._breach_ticks += 1
+            if self._breach_ticks > 1 and self._breach_ticks % self.escalate_after_ticks != 1:
+                # Mid-episode: the last cut is still draining the backlog.
+                # Cutting again now would charge the whole drain transient
+                # to rates that were never the cause — hold until the grace
+                # period elapses, then escalate.
+                return actions
+            fresh_episode = self._breach_ticks == 1
+            if fresh_episode:
+                self._breach_active_tc = self._active_tc(views)
+            for view in views:
+                if not view.is_throughput_critical:
+                    continue
+                state = self._state[view.name]
+                current = (
+                    view.rate_mbps
+                    if view.rate_mbps is not None
+                    else view.sample.smoothed_mbps
+                )
+                if current <= 0.0:
+                    continue  # idle tenant: nothing to shed
+                if fresh_episode:
+                    # Remember the admission level that caused this episode
+                    # — recovery climbs back to just under it, not through
+                    # it.  Escalation cuts mid-episode must NOT ratchet the
+                    # cap: the rate they cut from is already a defensive
+                    # level, not the one that caused the pressure.
+                    cap = self.headroom * current
+                    state.cap_mbps = (
+                        cap if state.cap_mbps is None else min(state.cap_mbps, cap)
+                    )
+                floor = self.min_share * state.baseline_mbps
+                target = max(floor, current * self.decrease_factor)
+                if target <= 0.0:
+                    continue  # no baseline yet and nothing flowing
+                if view.rate_mbps is None or target < view.rate_mbps:
+                    actions.append(QosAction(view.name, ACTION_RATE, target))
+            return actions
+
+        self._breach_ticks = 0
+        self._healthy_ticks += 1
+        if self._healthy_ticks < self.recover_after_ticks:
+            return actions
+        if self._breach_active_tc is not None:
+            active_tc = self._active_tc(views)
+            if active_tc < self._breach_active_tc:
+                # Contention dropped below what caused the last breach:
+                # the remembered knee no longer describes the fabric.
+                self._breach_active_tc = active_tc if active_tc > 0 else None
+                for state in self._state.values():
+                    state.cap_mbps = None
+        for view in views:
+            if not view.is_throughput_critical or view.rate_mbps is None:
+                continue
+            state = self._state[view.name]
+            step = self.recover_step_frac * max(state.baseline_mbps, view.rate_mbps)
+            target = view.rate_mbps + step
+            if state.cap_mbps is not None:
+                target = min(target, state.cap_mbps)
+            if target <= view.rate_mbps:
+                continue  # holding just below the remembered knee
+            if state.baseline_mbps and target >= state.baseline_mbps:
+                state.cap_mbps = None
+                actions.append(QosAction(view.name, ACTION_RATE, None))
+            else:
+                actions.append(QosAction(view.name, ACTION_RATE, target))
+        return actions
+
+
+def make_policy(name: str, params: Optional[Dict[str, float]] = None) -> QosPolicy:
+    """Instantiate a policy by registry name with optional tuning overrides."""
+    params = dict(params or {})
+    if name == POLICY_STATIC:
+        if params:
+            raise ConfigError("the static policy takes no parameters")
+        return StaticPolicy()
+    if name == POLICY_AIMD_WINDOW:
+        return AimdWindowPolicy(
+            increase_step=int(params.pop("increase_step", 4)),
+            tolerance=float(params.pop("tolerance", 0.08)),
+            hold_ticks=int(params.pop("hold_ticks", 4)),
+            **_reject_leftovers(name, params),
+        )
+    if name == POLICY_SLO_GUARD:
+        return SloGuardPolicy(
+            decrease_factor=float(params.pop("decrease_factor", 0.5)),
+            recover_step_frac=float(params.pop("recover_step_frac", 0.08)),
+            min_share=float(params.pop("min_share", 0.15)),
+            recover_after_ticks=int(params.pop("recover_after_ticks", 2)),
+            guard_margin=float(params.pop("guard_margin", 0.85)),
+            headroom=float(params.pop("headroom", 0.9)),
+            **_reject_leftovers(name, params),
+        )
+    raise ConfigError(f"unknown QoS policy {name!r}; choose from {POLICY_NAMES}")
+
+
+def _reject_leftovers(name: str, params: Dict[str, float]) -> Dict[str, float]:
+    if params:
+        raise ConfigError(f"unknown {name} parameters: {sorted(params)}")
+    return {}

@@ -1,0 +1,86 @@
+"""Per-tenant service-level objectives.
+
+An SLO names what a tenant was promised: latency-sensitive tenants carry a
+p99 latency ceiling, throughput-critical tenants a throughput floor.  The
+QoS controller (:mod:`repro.qos.controller`) checks the streaming telemetry
+against these bounds every tick; the report (:mod:`repro.qos.report`)
+accounts attainment over simulated time.
+
+SLOs are matched to scenario tenants by name, so a spec list can be written
+next to the :class:`~repro.workloads.mixes.TenantSpec` list it governs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+from ..errors import ConfigError
+
+#: SLO kinds (derived from which bound a spec carries).
+KIND_LATENCY = "latency"
+KIND_THROUGHPUT = "throughput"
+KIND_MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class TenantSlo:
+    """One tenant's objective: a latency ceiling and/or a throughput floor.
+
+    ``p99_ceiling_us`` is the bound for latency-sensitive tenants (the
+    paper's headline metric is tail latency); ``throughput_floor_mbps`` is
+    the bound for throughput-critical tenants.  At least one must be set.
+    """
+
+    tenant: str
+    p99_ceiling_us: Optional[float] = None
+    throughput_floor_mbps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.tenant:
+            raise ConfigError("an SLO must name a tenant")
+        if self.p99_ceiling_us is None and self.throughput_floor_mbps is None:
+            raise ConfigError(
+                f"SLO for {self.tenant!r} carries no bound; set a p99 ceiling "
+                f"and/or a throughput floor"
+            )
+        if self.p99_ceiling_us is not None and self.p99_ceiling_us <= 0:
+            raise ConfigError("p99 ceiling must be positive")
+        if self.throughput_floor_mbps is not None and self.throughput_floor_mbps <= 0:
+            raise ConfigError("throughput floor must be positive")
+
+    @property
+    def kind(self) -> str:
+        if self.p99_ceiling_us is not None and self.throughput_floor_mbps is not None:
+            return KIND_MIXED
+        if self.p99_ceiling_us is not None:
+            return KIND_LATENCY
+        return KIND_THROUGHPUT
+
+
+class SloSet:
+    """The SLOs of one scenario, keyed by tenant name."""
+
+    def __init__(self, slos: Iterable[TenantSlo] = ()) -> None:
+        self._by_tenant: Dict[str, TenantSlo] = {}
+        for slo in slos:
+            if slo.tenant in self._by_tenant:
+                raise ConfigError(f"duplicate SLO for tenant {slo.tenant!r}")
+            self._by_tenant[slo.tenant] = slo
+
+    def for_tenant(self, name: str) -> Optional[TenantSlo]:
+        return self._by_tenant.get(name)
+
+    def __len__(self) -> int:
+        return len(self._by_tenant)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_tenant
+
+    def __iter__(self) -> Iterator[TenantSlo]:
+        # Sorted by tenant so every consumer walks SLOs deterministically.
+        for name in sorted(self._by_tenant):
+            yield self._by_tenant[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SloSet {sorted(self._by_tenant)}>"

@@ -30,6 +30,15 @@ class TenantSpec:
     priority: Priority
     queue_depth: int
     op_mix: str = "read"  # "read" | "write" | "rw50"
+    #: Workload start offset from the scenario's workload start (us).  Lets
+    #: a scenario stage arrival bursts — e.g. a throughput-critical tenant
+    #: slamming in mid-run against an established latency-sensitive tenant
+    #: (the QoS experiments' shape).  0 = start with everyone else.
+    start_delay_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_delay_us < 0:
+            raise WorkloadError("start delay must be non-negative")
 
     @property
     def is_latency_sensitive(self) -> bool:
