@@ -14,8 +14,8 @@ exclude a configurable warmup interval.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..config import network_tuning, preset_for_network
 from ..core.flags import Priority
@@ -27,7 +27,7 @@ from ..metrics.report import jain_fairness
 from ..net.topology import Fabric
 from ..nvmeof.discovery import DiscoveryService
 from ..qos.controller import DEFAULT_INTERVAL_US, QosController, TenantHandle
-from ..qos.policy import POLICY_NAMES, POLICY_STATIC, make_policy
+from ..qos.policy import POLICY_NAMES, POLICY_PARAMETERS, POLICY_STATIC, make_policy
 from ..qos.report import QosReport
 from ..qos.slo import SloSet, TenantSlo
 from ..qos.telemetry import TelemetryHub
@@ -51,6 +51,11 @@ _HUGE_OPS = 10**9  # effectively unbounded quota for open-ended LS tenants
 def _start_generator(gen: "PerfGenerator") -> None:
     """call_later trampoline for staged tenant arrivals."""
     gen.start()
+
+
+def _invoke_scripted(fn: Callable[[], None]) -> None:
+    """call_later trampoline for scenario-program scripted actions."""
+    fn()
 
 #: InitiatorStats counters rolled up into :attr:`ScenarioResult.recovery`.
 _RECOVERY_COUNTERS = (
@@ -91,6 +96,12 @@ class ScenarioConfig:
     #: Fault schedule replayed against the live components (None = no chaos;
     #: guaranteed bit-identical to a no-chaos build of the same scenario).
     chaos: Optional["FaultSchedule"] = None
+    #: Time base for the chaos schedule: ``"absolute"`` (the classic path —
+    #: fault times count from simulation t=0, handshakes included) or
+    #: ``"workload"`` (the injector is armed at workload onset, so fault
+    #: times share the ``start_delay_us`` / scripted-action time base that
+    #: scenario programs use for every other action).
+    chaos_epoch: str = "absolute"
     #: Initiator-side timeout/retry/reconnect policy.  Required for chaos
     #: runs that sever connections or lose commands; optional otherwise.
     retry_policy: Optional["RetryPolicy"] = None
@@ -113,13 +124,53 @@ class ScenarioConfig:
             raise ConfigError("total_ops must be >= 1")
         if self.warmup_us < 0:
             raise ConfigError("warmup must be non-negative")
+        if self.chaos_epoch not in ("absolute", "workload"):
+            raise ConfigError(
+                f"unknown chaos epoch {self.chaos_epoch!r}; choose 'absolute' "
+                f"or 'workload'"
+            )
         if self.qos_policy not in POLICY_NAMES:
             raise ConfigError(
                 f"unknown QoS policy {self.qos_policy!r}; choose from {POLICY_NAMES}"
             )
         if self.qos_interval_us <= 0:
             raise ConfigError("QoS control interval must be positive")
+        if self.qos_params:
+            known = POLICY_PARAMETERS[self.qos_policy]
+            for key in self.qos_params:
+                if key not in known:
+                    raise ConfigError(
+                        f"unknown qos_params key {key!r} for policy "
+                        f"{self.qos_policy!r}; known: {sorted(known)}"
+                    )
         self.slos = tuple(self.slos)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ScenarioConfig":
+        """Build a config from plain data (scenario-program JSON).
+
+        Unlike ``cls(**data)`` — whose TypeError on a bad key is opaque —
+        unknown keys raise a :class:`ConfigError` naming every offender, and
+        SLO / retry-policy sub-objects may arrive as plain dicts.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigError(
+                f"unknown ScenarioConfig keys: {unknown}; known: {sorted(known)}"
+            )
+        kwargs = dict(data)
+        slos = kwargs.get("slos")
+        if slos:
+            kwargs["slos"] = tuple(
+                TenantSlo(**dict(s)) if isinstance(s, Mapping) else s for s in slos
+            )
+        retry = kwargs.get("retry_policy")
+        if isinstance(retry, Mapping):
+            from ..faults.recovery import RetryPolicy
+
+            kwargs["retry_policy"] = RetryPolicy(**dict(retry))
+        return cls(**kwargs)
 
     @property
     def qos_enabled(self) -> bool:
@@ -290,6 +341,14 @@ class Scenario:
         self._tenant_assignments: List[Tuple[TenantSpec, InitiatorNode, TargetNode, int]] = []
         self.injector: Optional["Injector"] = None
         self.qos_controller: Optional[QosController] = None
+        #: Scripted callbacks fired at workload-relative times (scenario
+        #: programs ride on these; empty = zero events added, digests
+        #: bit-identical to a build without the mechanism).
+        self._scripted: List[Tuple[float, Callable[[], None]]] = []
+        #: Live per-tenant objects, populated during run() in declaration
+        #: order (scenario-program actuator lookups).
+        self.generators_by_name: Dict[str, PerfGenerator] = {}
+        self.initiators_by_name: Dict[str, object] = {}
         self._ran = False
 
     # -- construction ----------------------------------------------------------------
@@ -325,7 +384,24 @@ class Scenario:
         nsid: int = 1,
     ) -> None:
         """Declare one tenant; instantiated (with workload) at run()."""
+        if any(s.name == spec.name for s, _i, _t, _n in self._tenant_assignments):
+            raise ConfigError(f"duplicate tenant name {spec.name!r}")
         self._tenant_assignments.append((spec, initiator_node, target_node, nsid))
+
+    def at_workload_time(self, delay_us: float, fn: Callable[[], None]) -> None:
+        """Schedule ``fn()`` at ``delay_us`` after the workload starts.
+
+        The hook scenario programs compile onto: callbacks run on the
+        engine's callback fast path, after connection handshakes, with the
+        same time base as :attr:`TenantSpec.start_delay_us`.  Same-time
+        callbacks fire in registration order, after any same-time staged
+        tenant start.
+        """
+        if self._ran:
+            raise ConfigError("scenario already ran; script actions before run()")
+        if delay_us < 0:
+            raise ConfigError("scripted actions cannot run before the workload starts")
+        self._scripted.append((float(delay_us), fn))
 
     # -- convenience builders ---------------------------------------------------------
     @classmethod
@@ -416,11 +492,12 @@ class Scenario:
             connect_events.append(initiator.connect())
             start_delays.append(spec.start_delay_us)
             is_ls = spec.priority is Priority.LATENCY
-            total = (
-                cfg.ls_total_ops
-                if (is_ls and cfg.ls_total_ops is not None)
-                else (_HUGE_OPS if is_ls else cfg.total_ops)
-            )
+            if spec.total_ops is not None:
+                total = spec.total_ops
+            elif is_ls:
+                total = cfg.ls_total_ops if cfg.ls_total_ops is not None else _HUGE_OPS
+            else:
+                total = cfg.total_ops
             perf_cfg = PerfConfig(
                 op_mix=spec.op_mix,
                 io_size=cfg.io_size,
@@ -439,12 +516,17 @@ class Scenario:
             )
             (ls_generators if is_ls else tc_generators).append(gen)
             self.generators.append(gen)
+            self.generators_by_name[spec.name] = gen
+            self.initiators_by_name[spec.name] = initiator
 
-        # Arm the fault injector (if any) before time advances so the
-        # schedule's clock matches the scenario clock from t=0.
+        # Arm the fault injector (if any).  The "absolute" epoch arms it
+        # before time advances so the schedule's clock matches the scenario
+        # clock from t=0; the "workload" epoch defers arming until after the
+        # handshakes so fault times share the workload-relative time base.
         if cfg.chaos is not None and len(cfg.chaos):
             self.injector = self._build_injector(cfg.chaos)
-            self.injector.start()
+            if cfg.chaos_epoch == "absolute":
+                self.injector.start()
 
         if qos_handles:
             self.qos_controller = QosController(
@@ -458,6 +540,8 @@ class Scenario:
         # Handshakes first, then workloads, then the measurement window.
         env.run(until=env.all_of(connect_events))
         workload_start = env.now
+        if self.injector is not None and cfg.chaos_epoch == "workload":
+            self.injector.start()
         if self.qos_controller is not None:
             self.qos_controller.start()
         for gen, delay in zip(self.generators, start_delays):
@@ -468,6 +552,10 @@ class Scenario:
                 env.call_later(delay, _start_generator, gen)
             else:
                 gen.start()
+        # Scripted scenario-program actions, armed after the staged starts so
+        # a same-time join fires before any leave/actuator touching it.
+        for delay, fn in self._scripted:
+            env.call_later(delay, _invoke_scripted, fn)
 
         marker_armed = [True]
 

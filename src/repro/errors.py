@@ -63,3 +63,14 @@ class WorkloadError(ReproError):
 
 class Hdf5Error(ReproError):
     """Errors from the simplified HDF5 substrate (``repro.hdf5sim``)."""
+
+
+class ScenarioProgramError(ReproError):
+    """Invalid scenario-program data (``repro.scenarios``): malformed
+    actions, references to tenants that never joined, unserializable
+    configs, unknown registry names."""
+
+
+class InvariantViolation(ReproError):
+    """A machine-checked scenario invariant failed during or after replay
+    (``repro.scenarios.invariants``)."""

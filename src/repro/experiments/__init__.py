@@ -5,6 +5,7 @@ from .fig6 import Fig6aPoint, Fig6bPoint, Fig6cPoint, run_fig6a, run_fig6b, run_
 from .fig7 import Fig7Point, format_fig7, mean_tail_reduction, mean_throughput_gain, pair_up, run_fig7
 from .fig8 import Fig8Curve, curve_gain_at_max_scale, format_fig8, run_fig8
 from .fig9 import Fig9Point, format_fig9, run_fig9, run_h5bench_cluster
+from .fuzz import FuzzFailure, FuzzResult, repro_seed, run_fuzz
 from .qos import QOS_WINDOW_GRID, QosAimdResult, QosGuardResult, run_qos_aimd, run_qos_guard
 from .table1 import run_table1, table1_rows
 
@@ -15,6 +16,8 @@ __all__ = [
     "Fig7Point",
     "Fig8Curve",
     "Fig9Point",
+    "FuzzFailure",
+    "FuzzResult",
     "NETWORK_SPEEDS",
     "PAPER_TARGETS",
     "PaperTarget",
@@ -29,12 +32,14 @@ __all__ = [
     "mean_tail_reduction",
     "mean_throughput_gain",
     "pair_up",
+    "repro_seed",
     "run_fig6a",
     "run_fig6b",
     "run_fig6c",
     "run_fig7",
     "run_fig8",
     "run_fig9",
+    "run_fuzz",
     "run_h5bench_cluster",
     "run_qos_aimd",
     "run_qos_guard",

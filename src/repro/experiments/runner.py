@@ -22,6 +22,7 @@ from .fig6 import run_fig6a, run_fig6b, run_fig6c
 from .fig7 import run_fig7
 from .fig8 import run_fig8
 from .fig9 import run_fig9
+from .fuzz import run_fuzz
 from .qos import run_qos_aimd, run_qos_guard
 from .table1 import run_table1
 
@@ -83,6 +84,13 @@ def _qos(quick: bool):
     return None
 
 
+def _fuzz(quick: bool):
+    result = run_fuzz(n_programs=100 if quick else 500, print_table=True)
+    if not result.ok:
+        raise SystemExit(1)
+    return None
+
+
 def _validate(quick: bool):
     from .validate import main_validate
 
@@ -99,6 +107,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "fig8": _fig8,
     "fig9": _fig9,
     "qos": _qos,
+    "fuzz": _fuzz,
     "validate": _validate,
 }
 

@@ -82,6 +82,12 @@ class Injector:
         self.trace: List[str] = []
         self.faults_injected = 0
         self.faults_reverted = 0
+        #: Simulation time the replay was armed at.  Schedules are written
+        #: relative to this epoch: an injector started before time advances
+        #: (the classic ``chaos=`` path) replays absolute times unchanged,
+        #: while one started at workload onset (scenario programs) shifts
+        #: the whole schedule to workload-relative time.
+        self.epoch_us = 0.0
         self._started = False
 
     # -- lifecycle ---------------------------------------------------------------
@@ -91,11 +97,12 @@ class Injector:
         if self._started:
             raise FaultError("injector already started")
         self._started = True
+        self.epoch_us = self.env.now
         self.env.process(self._run(), name="fault-injector")
 
     def _run(self):
         for fault in self.schedule.ordered():
-            delay = fault.at_us - self.env.now
+            delay = self.epoch_us + fault.at_us - self.env.now
             if delay > 0:
                 yield self.env.timeout(delay)
             self._apply(fault)

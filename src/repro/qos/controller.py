@@ -120,6 +120,15 @@ class QosController:
         self.interval_us = interval_us
         self._running = False
 
+    def handle(self, name: str) -> TenantHandle:
+        """The controller's handle for one tenant (scenario-program hook)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ConfigError(
+                f"no QoS handle for tenant {name!r}; known: {sorted(self._by_name)}"
+            ) from None
+
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> None:
         if self._running:

@@ -45,6 +45,23 @@ POLICY_AIMD_WINDOW = "aimd-window"
 POLICY_SLO_GUARD = "slo-guard"
 POLICY_NAMES = (POLICY_STATIC, POLICY_AIMD_WINDOW, POLICY_SLO_GUARD)
 
+#: Tuning parameters each policy accepts via ``qos_params``.  Configs are
+#: validated against this table at construction time so a typo'd key fails
+#: with a ConfigError naming the bad key instead of being silently ignored
+#: (or only exploding at run() time).
+POLICY_PARAMETERS = {
+    POLICY_STATIC: (),
+    POLICY_AIMD_WINDOW: ("increase_step", "tolerance", "hold_ticks"),
+    POLICY_SLO_GUARD: (
+        "decrease_factor",
+        "recover_step_frac",
+        "min_share",
+        "recover_after_ticks",
+        "guard_margin",
+        "headroom",
+    ),
+}
+
 #: Action kinds a policy may emit.
 ACTION_WINDOW = "window"
 ACTION_RATE = "rate"

@@ -1,0 +1,257 @@
+"""Compile scenario programs onto the cluster layer and replay them.
+
+The compiler walks a validated :class:`~repro.scenarios.program
+.ScenarioProgram` once with a time cursor and lowers each action onto the
+scenario machinery it already has:
+
+* ``tenant_join`` / ``usage_burst`` become :class:`TenantSpec` declarations
+  (arrival staged via ``start_delay_us``; bursts ride the base tenant's
+  initiator node and target),
+* ``fault_inject`` actions become one :class:`FaultSchedule` replayed by
+  the :mod:`repro.faults` injector, armed at workload onset so fault times
+  share the program's time base,
+* ``tenant_leave`` / ``set_window`` / ``slo_change`` / ``checkpoint`` /
+  ``assert_invariant`` become scripted callbacks on the engine's callback
+  fast path (:meth:`Scenario.at_workload_time`).
+
+Replaying is deterministic end to end: same program + same seed produce a
+bit-identical :meth:`ProgramRun.digest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.scenario import Scenario, ScenarioResult
+from ..core.flags import Priority
+from ..errors import ScenarioProgramError
+from ..faults.schedule import FaultSchedule
+from ..qos.slo import TenantSlo
+from ..workloads.mixes import LS_QUEUE_DEPTH, TC_QUEUE_DEPTH, TenantSpec
+from .actions import (
+    Advance,
+    AssertInvariant,
+    Checkpoint,
+    FaultInject,
+    SetWindow,
+    SloChange,
+    TenantJoin,
+    TenantLeave,
+    UsageBurst,
+)
+from .invariants import check_all, check_invariant
+from .program import BURST_SEP, ScenarioProgram
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One checkpoint action's snapshot of the per-tenant books."""
+
+    label: str
+    at_us: float
+    #: tenant -> (issued, completed, failed), sorted by tenant at render.
+    books: Tuple[Tuple[str, int, int, int], ...]
+
+    def render(self) -> str:
+        cells = ",".join(f"{n}:{i}/{c}/{f}" for n, i, c, f in self.books)
+        return f"checkpoint/{self.label}@{self.at_us!r}={cells}"
+
+
+@dataclass
+class ProgramRun:
+    """Everything one replay produced."""
+
+    program: ScenarioProgram
+    scenario: Scenario
+    result: ScenarioResult
+    checkpoints: List[CheckpointRecord] = field(default_factory=list)
+
+    def digest(self) -> str:
+        """The replay's canonical rendering: the scenario's full metrics
+        digest plus every checkpoint line.  Two same-seed replays of the
+        same program must produce *equal* strings."""
+        lines = [self.result.metrics_digest()]
+        lines.extend(cp.render() for cp in self.checkpoints)
+        return "\n".join(lines)
+
+
+class CompiledProgram:
+    """A program lowered onto a ready-to-run :class:`Scenario`."""
+
+    def __init__(self, program: ScenarioProgram) -> None:
+        self.program = program
+        self.checkpoints: List[CheckpointRecord] = []
+        schedule = self._compile_faults(program)
+        self.scenario = Scenario(
+            program.scenario_config(chaos=schedule, chaos_epoch="workload")
+            if schedule is not None
+            else program.scenario_config()
+        )
+        self._lower_actions()
+        self._ran = False
+
+    # -- lowering ---------------------------------------------------------------
+    @staticmethod
+    def _compile_faults(program: ScenarioProgram) -> Optional[FaultSchedule]:
+        schedule = FaultSchedule()
+        cursor = 0.0
+        for action in program.actions:
+            if isinstance(action, Advance):
+                cursor += action.dt_us
+            elif isinstance(action, FaultInject):
+                schedule.add(
+                    action.kind,
+                    action.component,
+                    cursor,
+                    action.duration_us,
+                    **dict(action.params),
+                )
+        return schedule if len(schedule) else None
+
+    def _lower_actions(self) -> None:
+        program = self.program
+        scenario = self.scenario
+        targets = [
+            scenario.add_target_node(n_ssds=program.n_ssds)
+            for _ in range(program.n_target_nodes)
+        ]
+        placement: Dict[str, Tuple[object, object]] = {}
+        cursor = 0.0
+        joins = 0
+        bursts = 0
+        for action in program.actions:
+            if isinstance(action, Advance):
+                cursor += action.dt_us
+            elif isinstance(action, TenantJoin):
+                depth = action.queue_depth or (
+                    LS_QUEUE_DEPTH if action.priority == "latency" else TC_QUEUE_DEPTH
+                )
+                spec = TenantSpec(
+                    name=action.tenant,
+                    priority=action.priority_flag,
+                    queue_depth=depth,
+                    op_mix=action.op_mix,
+                    start_delay_us=cursor,
+                    total_ops=action.total_ops,
+                )
+                node = scenario.add_initiator_node()
+                target = targets[joins % len(targets)]
+                scenario.add_tenant(spec, node, target)
+                placement[action.tenant] = (node, target)
+                joins += 1
+            elif isinstance(action, UsageBurst):
+                node, target = placement[action.tenant]
+                spec = TenantSpec(
+                    name=f"{action.tenant}{BURST_SEP}{bursts}",
+                    priority=Priority.THROUGHPUT,
+                    queue_depth=action.queue_depth,
+                    op_mix=action.op_mix,
+                    start_delay_us=cursor,
+                    total_ops=action.ops,
+                )
+                scenario.add_tenant(spec, node, target)
+                bursts += 1
+            elif isinstance(action, TenantLeave):
+                scenario.at_workload_time(cursor, self._leave_fn(action.tenant))
+            elif isinstance(action, SetWindow):
+                scenario.at_workload_time(
+                    cursor, self._window_fn(action.tenant, action.window)
+                )
+            elif isinstance(action, SloChange):
+                scenario.at_workload_time(cursor, self._slo_fn(action))
+            elif isinstance(action, Checkpoint):
+                scenario.at_workload_time(cursor, self._checkpoint_fn(action.label))
+            elif isinstance(action, AssertInvariant):
+                scenario.at_workload_time(cursor, self._assert_fn(action.invariant))
+            elif isinstance(action, FaultInject):
+                pass  # lowered into the chaos schedule above
+            else:  # pragma: no cover - the vocabulary is closed
+                raise ScenarioProgramError(f"cannot lower {type(action).__name__}")
+
+    # Closure factories (late-bound lookups: the live objects exist only
+    # once run() instantiates the tenants).
+    def _leave_fn(self, tenant: str):
+        def leave() -> None:
+            self.scenario.generators_by_name[tenant].stop()
+
+        return leave
+
+    def _window_fn(self, tenant: str, window: int):
+        def resize() -> None:
+            self.scenario.initiators_by_name[tenant].apply_window(window)
+
+        return resize
+
+    def _slo_fn(self, action: SloChange):
+        def change() -> None:
+            controller = self.scenario.qos_controller
+            if controller is None:  # pragma: no cover - validation forbids it
+                raise ScenarioProgramError("slo_change without a control plane")
+            handle = controller.handle(action.tenant)
+            if action.p99_ceiling_us is None and action.throughput_floor_mbps is None:
+                handle.slo = None
+            else:
+                handle.slo = TenantSlo(
+                    action.tenant,
+                    p99_ceiling_us=action.p99_ceiling_us,
+                    throughput_floor_mbps=action.throughput_floor_mbps,
+                )
+
+        return change
+
+    def _checkpoint_fn(self, label: str):
+        def snapshot() -> None:
+            books = tuple(
+                (
+                    name,
+                    gen.issued,
+                    gen.completed,
+                    gen.failed,
+                )
+                for name, gen in sorted(self.scenario.generators_by_name.items())
+            )
+            self.checkpoints.append(
+                CheckpointRecord(label=label, at_us=self.scenario.env.now, books=books)
+            )
+
+        return snapshot
+
+    def _assert_fn(self, invariant: str):
+        def check() -> None:
+            check_invariant(
+                invariant,
+                self.scenario,
+                None,
+                context=f"{self.program.name} @ t={self.scenario.env.now:.1f}us",
+            )
+
+        return check
+
+    # -- execution --------------------------------------------------------------
+    def run(self, check_invariants: bool = True) -> ProgramRun:
+        if self._ran:
+            raise ScenarioProgramError(
+                "a compiled program can only run once; compile a fresh one"
+            )
+        self._ran = True
+        result = self.scenario.run()
+        run = ProgramRun(
+            program=self.program,
+            scenario=self.scenario,
+            result=result,
+            checkpoints=list(self.checkpoints),
+        )
+        if check_invariants:
+            check_all(self.scenario, result, context=self.program.name)
+        return run
+
+
+def compile_program(program: ScenarioProgram) -> CompiledProgram:
+    """Lower a validated program onto a fresh scenario."""
+    return CompiledProgram(program)
+
+
+def replay(program: ScenarioProgram, check_invariants: bool = True) -> ProgramRun:
+    """Compile and run a program; post-run invariants checked by default."""
+    return compile_program(program).run(check_invariants=check_invariants)

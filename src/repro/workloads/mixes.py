@@ -35,10 +35,16 @@ class TenantSpec:
     #: slamming in mid-run against an established latency-sensitive tenant
     #: (the QoS experiments' shape).  0 = start with everyone else.
     start_delay_us: float = 0.0
+    #: Per-tenant op quota.  None (the default) keeps the scenario-level
+    #: rule: TC tenants run ``config.total_ops``, LS tenants run open-ended.
+    #: Scenario programs use this for heterogeneous quotas (bursts, churn).
+    total_ops: "int | None" = None
 
     def __post_init__(self) -> None:
         if self.start_delay_us < 0:
             raise WorkloadError("start delay must be non-negative")
+        if self.total_ops is not None and self.total_ops < 1:
+            raise WorkloadError("per-tenant total_ops must be >= 1 when set")
 
     @property
     def is_latency_sensitive(self) -> bool:

@@ -100,6 +100,11 @@ class PerfGenerator:
         self.issued = 0
         self.completed = 0
         self.failed = 0
+        #: Drain-marker (flush) completions observed on this tenant's
+        #: initiator — protocol plumbing, excluded from the workload books
+        #: but tracked so conservation audits can reconcile initiator stats.
+        self.drain_markers = 0
+        self.drain_marker_failures = 0
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.done: Event = Event(env)
@@ -167,7 +172,10 @@ class PerfGenerator:
 
     def _on_complete(self, request: "IoRequest") -> None:
         if request.op == OP_FLUSH:
-            # Drain markers are not workload operations.
+            # Drain markers are not workload operations, but audit them.
+            self.drain_markers += 1
+            if request.status not in (0, None):
+                self.drain_marker_failures += 1
             self._pump()
             return
         self.completed += 1

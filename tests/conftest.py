@@ -1,0 +1,51 @@
+"""Shared scenario-builder fixtures.
+
+The golden-regression, fault, and QoS suites all exercise the same
+scaled-down Figure-7 cell (1 LS + 2 TC tenants on one target, read mix,
+10 Gbps, 200 ops per TC tenant, window 16, seed 1).  The builders live
+here so the topology is declared once; suites layer their own knobs
+(chaos schedules, retry policies, QoS policies) as overrides.
+
+``build_fig7_cell`` is importable for module-level helpers; the
+``fig7_cell`` / ``fig7_cell_config`` fixtures expose the same factories to
+tests that prefer injection.
+"""
+
+import pytest
+
+from repro.cluster.scenario import Scenario, ScenarioConfig
+from repro.workloads.mixes import tenants_for_ratio
+
+#: The golden cell's knobs (tests/test_golden_regression.py pins digests of
+#: exactly this shape — change them and every golden moves).
+FIG7_CELL_DEFAULTS = dict(
+    protocol="nvme-opf",
+    network_gbps=10.0,
+    op_mix="read",
+    total_ops=200,
+    window_size=16,
+    seed=1,
+)
+
+
+def fig7_cell_config(**overrides) -> ScenarioConfig:
+    """The golden cell's :class:`ScenarioConfig` with per-test overrides."""
+    return ScenarioConfig(**{**FIG7_CELL_DEFAULTS, **overrides})
+
+
+def build_fig7_cell(ratio: str = "1:2", **overrides) -> Scenario:
+    """An unrun golden-cell :class:`Scenario` (callers invoke ``.run()``)."""
+    cfg = fig7_cell_config(**overrides)
+    return Scenario.two_sided(cfg, tenants_for_ratio(ratio, op_mix=cfg.op_mix))
+
+
+@pytest.fixture
+def fig7_cell():
+    """Factory fixture: ``fig7_cell(ratio="1:2", **config_overrides)``."""
+    return build_fig7_cell
+
+
+@pytest.fixture
+def fig7_config():
+    """Factory fixture for just the config half of the golden cell."""
+    return fig7_cell_config

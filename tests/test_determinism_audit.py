@@ -28,9 +28,17 @@ FORBIDDEN = (
 )
 
 #: The seeded stream factory is the one place numpy's RNG may be touched;
-#: the experiment runner reads the wall clock only to print progress
-#: timing, never to drive simulation state.
-ALLOWED = {"simcore/rng.py", "experiments/runner.py"}
+#: the experiment runner and the fuzz campaign read the wall clock only to
+#: print progress timing, never to drive simulation state; the scenario
+#: generator constructs explicitly-seeded ``random.Random(seed)`` instances
+#: and never touches the module-level functions (generated programs are a
+#: pure function of the seed — pinned by tests/test_scenario_fuzz_golden.py).
+ALLOWED = {
+    "simcore/rng.py",
+    "experiments/runner.py",
+    "experiments/fuzz.py",
+    "scenarios/generate.py",
+}
 
 
 def test_source_tree_has_no_unseeded_randomness():

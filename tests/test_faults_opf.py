@@ -12,9 +12,8 @@ and tenant fairness within tolerance of the calm run.
 
 import pytest
 
-from repro.cluster.scenario import Scenario, ScenarioConfig
 from repro.faults import FaultSchedule, RetryPolicy
-from repro.workloads.mixes import tenants_for_ratio
+from tests.conftest import build_fig7_cell
 
 POLICY = RetryPolicy(
     timeout_us=400.0,
@@ -45,17 +44,7 @@ def _disconnect_schedule():
 
 
 def _build(chaos, policy, seed=1):
-    cfg = ScenarioConfig(
-        protocol="nvme-opf",
-        network_gbps=10.0,
-        op_mix="read",
-        total_ops=200,
-        window_size=16,
-        seed=seed,
-        chaos=chaos,
-        retry_policy=policy,
-    )
-    return Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read"))
+    return build_fig7_cell(seed=seed, chaos=chaos, retry_policy=policy)
 
 
 def _run(chaos, policy, seed=1):

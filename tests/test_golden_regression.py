@@ -12,9 +12,8 @@ import hashlib
 
 import pytest
 
-from repro.cluster.scenario import Scenario, ScenarioConfig
 from repro.faults import RetryPolicy
-from repro.workloads.mixes import tenants_for_ratio
+from tests.conftest import build_fig7_cell
 
 GOLDEN = {
     "spdk": {
@@ -39,17 +38,7 @@ GOLDEN_OPF_DIGEST_SHA256 = (
 
 
 def run(protocol, retry_policy=None):
-    cfg = ScenarioConfig(
-        protocol=protocol,
-        network_gbps=10.0,
-        op_mix="read",
-        total_ops=200,
-        window_size=16,
-        seed=1,
-        retry_policy=retry_policy,
-    )
-    scenario = Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read"))
-    return scenario.run()
+    return build_fig7_cell(protocol=protocol, retry_policy=retry_policy).run()
 
 
 @pytest.mark.parametrize("protocol", sorted(GOLDEN))

@@ -11,7 +11,7 @@ import statistics
 
 import pytest
 
-from repro.cluster.scenario import Scenario, ScenarioConfig
+from repro.cluster.scenario import ScenarioConfig
 from repro.core.flags import Priority
 from repro.errors import ConfigError
 from repro.experiments import run_qos_aimd, run_qos_guard
@@ -44,7 +44,8 @@ from repro.qos.telemetry import (
 )
 from repro.qos.throttle import DEFAULT_BURST_BYTES, TokenBucket
 from repro.simcore.engine import Environment
-from repro.workloads.mixes import TenantSpec, tenants_for_ratio
+from repro.workloads.mixes import TenantSpec
+from tests.conftest import build_fig7_cell
 
 
 def lcg(seed=42, a=1103515245, c=12345, m=2**31):
@@ -691,19 +692,14 @@ class TestScenarioQosConfig:
 
 
 def _scenario_result(policy="static", slos=(), seed=1, total_ops=200, **kw):
-    cfg = ScenarioConfig(
-        protocol="nvme-opf",
-        network_gbps=10.0,
-        op_mix="read",
+    return build_fig7_cell(
         total_ops=total_ops,
-        window_size=16,
         seed=seed,
         qos_policy=policy,
         slos=tuple(slos),
         qos_interval_us=100.0,
         **kw,
-    )
-    return Scenario.two_sided(cfg, tenants_for_ratio("1:2", op_mix="read")).run()
+    ).run()
 
 
 class TestDigestRules:

@@ -1,0 +1,184 @@
+"""Property tests for the streaming telemetry estimators (Hypothesis).
+
+The QoS control plane trusts three O(1) estimators; these properties pin
+their edge behaviour on adversarial streams:
+
+* :class:`~repro.metrics.percentile.P2Quantile` before its five markers
+  initialise (fewer than 5 samples) and on all-duplicate streams,
+* :class:`~repro.qos.telemetry.Ewma` first-sample seeding and the convex
+  bound every later update must respect,
+* :class:`~repro.qos.telemetry.TenantTelemetry` tail warm-up gating and
+  peak monotony across idle intervals.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigError
+from repro.metrics.percentile import P2Quantile, exact_percentile
+from repro.qos.telemetry import Ewma, MIN_TAIL_SAMPLES, TenantTelemetry
+
+#: Finite, float32-ish magnitudes: the estimators run on microsecond
+#: latencies, not astronomical extremes, and the P² parabolic update is
+#: numerically honest only away from overflow.
+finite = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False, width=64
+)
+quantiles = st.floats(min_value=0.01, max_value=0.99)
+alphas = st.floats(min_value=1e-6, max_value=1.0)
+
+
+class TestP2QuantileSmallStreams:
+    @given(samples=st.lists(finite, min_size=1, max_size=4), q=quantiles)
+    def test_under_five_samples_returns_an_observed_sample(self, samples, q):
+        # Before the markers initialise the estimate must be one of the raw
+        # samples (a sorted-rank pick), never an extrapolation.
+        est = P2Quantile(q)
+        for x in samples:
+            est.add(x)
+        assert est.count == len(samples)
+        assert est.value in samples
+
+    @given(samples=st.lists(finite, min_size=1, max_size=4))
+    def test_under_five_samples_median_is_order_insensitive(self, samples):
+        forward, backward = P2Quantile(0.5), P2Quantile(0.5)
+        for x in samples:
+            forward.add(x)
+        for x in reversed(samples):
+            backward.add(x)
+        assert forward.value == backward.value
+
+    @given(q=quantiles)
+    def test_empty_estimator_refuses_a_value(self, q):
+        est = P2Quantile(q)
+        with pytest.raises(ConfigError):
+            est.value
+
+    @given(value=finite, n=st.integers(min_value=1, max_value=200), q=quantiles)
+    def test_all_duplicate_stream_is_exact(self, value, n, q):
+        # Every marker collapses onto the duplicate: any quantile of a
+        # constant stream is that constant, at any stream length (the
+        # parabolic update must not divide by a zero marker gap).
+        est = P2Quantile(q)
+        for _ in range(n):
+            est.add(value)
+        assert est.value == value
+
+    @given(samples=st.lists(finite, min_size=5, max_size=80), q=quantiles)
+    def test_estimate_stays_within_observed_range(self, samples, q):
+        est = P2Quantile(q)
+        for x in samples:
+            est.add(x)
+        assert min(samples) <= est.value <= max(samples)
+
+    @given(samples=st.lists(finite, min_size=1, max_size=4), q=quantiles)
+    def test_small_stream_matches_exact_rank_pick(self, samples, q):
+        # The documented <5-sample rule: a round-half-up rank into the
+        # sorted samples.
+        est = P2Quantile(q)
+        for x in samples:
+            est.add(x)
+        ordered = sorted(samples)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        assert est.value == ordered[idx]
+
+
+class TestP2AgainstExact:
+    # P² carries no worst-case accuracy bound on adversarial streams (a
+    # bimodal stream with a huge gap can park the middle marker far from the
+    # exact median), so the accuracy properties below are the two that ARE
+    # sound: exact equivariance under power-of-two scaling, and a
+    # deterministic tolerance on seeded i.i.d. uniform streams.
+
+    @given(
+        samples=st.lists(finite, min_size=1, max_size=120),
+        q=quantiles,
+        scale=st.sampled_from([0.125, 0.5, 2.0, 8.0]),
+    )
+    @settings(max_examples=50)
+    def test_power_of_two_scaling_commutes_exactly(self, samples, q, scale):
+        # Every P² update is linear in the marker heights and its
+        # comparisons are scale-invariant, and scaling by a power of two is
+        # exact in binary floating point — so the two runs must agree to
+        # the last bit, not just approximately.
+        plain, scaled = P2Quantile(q), P2Quantile(q)
+        for x in samples:
+            plain.add(x)
+            scaled.add(scale * x)
+        assert scaled.value == scale * plain.value
+
+    @pytest.mark.parametrize("seed", range(16))
+    @pytest.mark.parametrize("q,percentile,tol", [(0.5, 50.0, 0.06), (0.99, 99.0, 0.03)])
+    def test_tracks_exact_on_seeded_uniform_streams(self, seed, q, percentile, tol):
+        # Deterministic accuracy floor on the streams telemetry actually
+        # sees (i.i.d.-ish latencies): measured worst deviation over these
+        # seeds is 0.025 (median) / 0.009 (p99) on uniform(0, 1), n=256.
+        rng = random.Random(seed)
+        samples = [rng.random() for _ in range(256)]
+        est = P2Quantile(q)
+        for x in samples:
+            est.add(x)
+        assert abs(est.value - exact_percentile(samples, percentile)) <= tol
+
+
+class TestEwma:
+    @given(x=finite, alpha=alphas)
+    def test_first_update_seeds_exactly(self, x, alpha):
+        ewma = Ewma(alpha)
+        assert ewma.value is None
+        assert ewma.update(x) == x
+        assert ewma.value == x
+
+    @given(first=finite, second=finite, alpha=alphas)
+    def test_update_is_a_convex_combination(self, first, second, alpha):
+        ewma = Ewma(alpha)
+        ewma.update(first)
+        result = ewma.update(second)
+        lo, hi = min(first, second), max(first, second)
+        assert lo - 1e-6 <= result <= hi + 1e-6
+
+    @given(x=finite, alpha=alphas, n=st.integers(min_value=1, max_value=50))
+    def test_constant_stream_is_a_fixed_point(self, x, alpha, n):
+        ewma = Ewma(alpha)
+        for _ in range(n):
+            ewma.update(x)
+        assert math.isclose(ewma.value, x, rel_tol=1e-12, abs_tol=1e-12)
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.5, 1.0001])
+    def test_alpha_bounds_enforced(self, alpha):
+        with pytest.raises(ConfigError):
+            Ewma(alpha)
+
+
+class TestTenantTelemetryEdges:
+    @given(
+        latencies=st.lists(
+            st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=MIN_TAIL_SAMPLES - 1,
+        )
+    )
+    def test_tail_estimate_gated_until_warmup(self, latencies):
+        t = TenantTelemetry("a")
+        for latency in latencies:
+            t.observe(latency, 4096)
+        assert t.p99_estimate is None
+
+    @given(
+        latency=st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+        idle_ticks=st.integers(min_value=1, max_value=10),
+    )
+    def test_recent_peak_survives_idle_intervals(self, latency, idle_ticks):
+        # The breach detector must not decay toward zero while a tenant is
+        # throttled into silence — idle intervals leave the peak untouched.
+        t = TenantTelemetry("a")
+        t.observe(latency, 4096)
+        busy = t.snapshot(now=100.0, interval_us=100.0)
+        last = busy
+        for i in range(idle_ticks):
+            last = t.snapshot(now=200.0 + 100.0 * i, interval_us=100.0)
+        assert last.recent_peak_us == busy.recent_peak_us == latency
+        assert last.ops == 0 and last.latency_mean_us is None
