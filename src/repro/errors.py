@@ -74,3 +74,9 @@ class ScenarioProgramError(ReproError):
 class InvariantViolation(ReproError):
     """A machine-checked scenario invariant failed during or after replay
     (``repro.scenarios.invariants``)."""
+
+
+class CampaignError(ReproError):
+    """A parallel sweep/campaign failed (``repro.parallel``): a work unit
+    exhausted its retries, an invariant failed inside a unit, or the merge
+    received duplicate/missing unit results."""

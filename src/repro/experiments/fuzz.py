@@ -22,7 +22,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..metrics.report import format_table
 from ..scenarios.compiler import replay
 from ..scenarios.generate import GeneratorConfig, generate_program
@@ -61,19 +61,52 @@ class FuzzResult:
         return [f.seed for f in self.failures]
 
 
+def validate_campaign_args(
+    n_programs: object, base_seed: object, workers: object
+) -> None:
+    """Validate campaign arguments, naming the offending key precisely."""
+    if not isinstance(n_programs, int) or isinstance(n_programs, bool) or n_programs < 1:
+        raise ConfigError(
+            f"key 'count' must be a positive integer (got {n_programs!r})"
+        )
+    if not isinstance(base_seed, int) or isinstance(base_seed, bool) or base_seed < 0:
+        raise ConfigError(
+            f"key 'base_seed' must be a non-negative integer (got {base_seed!r})"
+        )
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 0:
+        raise ConfigError(
+            f"key 'workers' must be a non-negative integer (got {workers!r})"
+        )
+
+
 def run_fuzz(
     n_programs: int = 500,
     base_seed: int = 0,
     generator_config: Optional[GeneratorConfig] = None,
     determinism_stride: int = DETERMINISM_STRIDE,
+    workers: int = 0,
     print_table: bool = False,
 ) -> FuzzResult:
     """Generate and replay ``n_programs`` sequential-seed programs.
 
     Failures are collected, not raised, so one bad seed never hides the
     rest of the campaign; the result lists every failing seed with its
-    one-command repro.
+    one-command repro.  ``workers > 1`` fans seed blocks out to a process
+    pool (``repro.parallel``); the merged result is field-for-field
+    identical to a serial campaign.
     """
+    validate_campaign_args(n_programs, base_seed, workers)
+    if workers > 1:
+        from ..parallel.sweeps import run_fuzz_parallel
+
+        return run_fuzz_parallel(
+            n_programs,
+            base_seed=base_seed,
+            generator_config=generator_config,
+            determinism_stride=determinism_stride,
+            workers=workers,
+            print_table=print_table,
+        )
     result = FuzzResult(base_seed=base_seed, n_programs=n_programs)
     started = time.time()
     for seed in range(base_seed, base_seed + n_programs):
@@ -138,14 +171,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--base-seed", type=int, default=0, help="first seed of the campaign"
     )
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan seed blocks out to N worker processes (0/1: serial; "
+        "merged results are identical either way)",
+    )
     args = parser.parse_args(argv)
 
-    if args.seed is not None:
-        repro_seed(args.seed)
-        return 0
-    result = run_fuzz(
-        n_programs=args.count, base_seed=args.base_seed, print_table=True
-    )
+    try:
+        if args.seed is not None:
+            if args.seed < 0:
+                raise ConfigError(
+                    f"key 'seed' must be a non-negative integer (got {args.seed!r})"
+                )
+            repro_seed(args.seed)
+            return 0
+        result = run_fuzz(
+            n_programs=args.count,
+            base_seed=args.base_seed,
+            workers=args.workers,
+            print_table=True,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Any failing seed fails the campaign: CI and scripts key off this.
     return 0 if result.ok else 1
 
 

@@ -5,10 +5,15 @@ Installed as the ``nvme-opf`` console script::
     nvme-opf table1
     nvme-opf fig6a            # full-size run
     nvme-opf fig7 --quick     # reduced grid for a fast look
+    nvme-opf fig7 --workers 4 # fan sweep points out to 4 processes
     nvme-opf all --quick
 
 ``--quick`` shrinks op counts and grids (same code paths, smaller numbers);
-full runs match the sizes used for EXPERIMENTS.md.
+full runs match the sizes used for EXPERIMENTS.md.  ``--workers N`` routes
+the sweep-shaped experiments (fig7, fig8, fig9, fuzz) through the
+``repro.parallel`` process pool — results are bit-identical to serial, the
+merge is keyed by work-unit id — while point experiments (table1, fig6*,
+qos, validate) ignore the pool and run serially.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 import time
 from typing import Callable, Dict, List
 
+from ..errors import ConfigError
 from .fig6 import run_fig6a, run_fig6b, run_fig6c
 from .fig7 import run_fig7
 from .fig8 import run_fig8
@@ -27,7 +33,7 @@ from .qos import run_qos_aimd, run_qos_guard
 from .table1 import run_table1
 
 
-def _fig6a(quick: bool):
+def _fig6a(quick: bool, workers: int):
     return run_fig6a(
         windows=(1, 4, 16, 32, 64) if quick else (1, 2, 4, 8, 16, 32, 64),
         total_ops=300 if quick else 1200,
@@ -35,7 +41,7 @@ def _fig6a(quick: bool):
     )
 
 
-def _fig6b(quick: bool):
+def _fig6b(quick: bool, workers: int):
     return run_fig6b(
         windows=(1, 4, 16, 32, 64) if quick else (1, 2, 4, 8, 16, 32, 64),
         total_ops=300 if quick else 1200,
@@ -43,63 +49,84 @@ def _fig6b(quick: bool):
     )
 
 
-def _fig6c(quick: bool):
+def _fig6c(quick: bool, workers: int):
     return run_fig6c(total_ops=320 if quick else 1280, print_table=True)
 
 
-def _fig7(quick: bool):
-    return run_fig7(
-        ratios=("1:1", "2:2", "1:4") if quick else None or ("1:1", "1:2", "2:2", "3:2", "1:3", "2:3", "1:4"),
+def _fig7(quick: bool, workers: int):
+    kwargs = dict(
+        ratios=("1:1", "2:2", "1:4") if quick else ("1:1", "1:2", "2:2", "3:2", "1:3", "2:3", "1:4"),
         total_ops=300 if quick else 1000,
         print_table=True,
     )
+    if workers > 1:
+        from ..parallel.sweeps import run_fig7_parallel
+
+        return run_fig7_parallel(workers=workers, **kwargs)
+    return run_fig7(**kwargs)
 
 
-def _fig8(quick: bool):
-    return run_fig8(
+def _fig8(quick: bool, workers: int):
+    kwargs = dict(
         per_node_range=[1, 3, 5] if quick else [1, 2, 3, 4, 5],
         pairs_range=[1, 3, 5] if quick else [1, 2, 3, 4, 5],
         total_ops=300 if quick else 600,
         print_table=True,
     )
+    if workers > 1:
+        from ..parallel.sweeps import run_fig8_parallel
+
+        return run_fig8_parallel(workers=workers, **kwargs)
+    return run_fig8(**kwargs)
 
 
-def _fig9(quick: bool):
+def _fig9(quick: bool, workers: int):
     # Coalescing needs several windows' worth of I/O per timestep to pay
     # off; quick mode scales the dataset-loading overhead down with the
     # particle count so read bandwidth stays interpretable.
-    return run_fig9(
+    kwargs = dict(
         n_node_pairs=2 if quick else 4,
         ranks_per_node_max=4 if quick else 10,
         particles_per_rank=64 * 1024 if quick else 256 * 1024,
         dataset_load_us=6_000.0 if quick else 25_000.0,
         print_table=True,
     )
+    if workers > 1:
+        from ..parallel.sweeps import run_fig9_parallel
+
+        return run_fig9_parallel(workers=workers, **kwargs)
+    return run_fig9(**kwargs)
 
 
-def _qos(quick: bool):
+def _qos(quick: bool, workers: int):
     run_qos_guard(total_ops=4_000 if quick else 9_000, print_table=True)
     print()
     run_qos_aimd(total_ops_online=4_000 if quick else 8_000, print_table=True)
     return None
 
 
-def _fuzz(quick: bool):
-    result = run_fuzz(n_programs=100 if quick else 500, print_table=True)
+def _fuzz(quick: bool, workers: int):
+    result = run_fuzz(
+        n_programs=100 if quick else 500, workers=workers, print_table=True
+    )
     if not result.ok:
         raise SystemExit(1)
     return None
 
 
-def _validate(quick: bool):
+def _validate(quick: bool, workers: int):
     from .validate import main_validate
 
     main_validate(total_ops=300 if quick else 600)
     return None
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
-    "table1": lambda quick: (run_table1(), None)[1],
+#: Experiments with a true parallel path; the rest accept --workers but run
+#: serially (they are single points or already-short sweeps).
+PARALLEL_EXPERIMENTS = frozenset({"fig7", "fig8", "fig9", "fuzz"})
+
+EXPERIMENTS: Dict[str, Callable[[bool, int], None]] = {
+    "table1": lambda quick, workers: (run_table1(), None)[1],
     "fig6a": _fig6a,
     "fig6b": _fig6b,
     "fig6c": _fig6c,
@@ -110,6 +137,18 @@ EXPERIMENTS: Dict[str, Callable[[bool], None]] = {
     "fuzz": _fuzz,
     "validate": _validate,
 }
+
+
+def _validate_workers(workers: object) -> int:
+    from ..parallel.pool import MAX_WORKERS
+
+    if not isinstance(workers, int) or isinstance(workers, bool) or workers < 0:
+        raise ConfigError(
+            f"key 'workers' must be a non-negative integer (got {workers!r})"
+        )
+    if workers > MAX_WORKERS:
+        raise ConfigError(f"key 'workers' must be <= {MAX_WORKERS} (got {workers!r})")
+    return workers
 
 
 def main(argv: List[str] = None) -> int:
@@ -126,16 +165,29 @@ def main(argv: List[str] = None) -> int:
         "--quick", action="store_true", help="reduced grids/op counts for a fast look"
     )
     parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="fan sweep experiments out to N worker processes "
+        "(0/1: serial; results are bit-identical either way)",
+    )
+    parser.add_argument(
         "--csv", metavar="DIR", default=None,
         help="also write each experiment's points as CSV under DIR",
     )
     args = parser.parse_args(argv)
 
+    try:
+        workers = _validate_workers(args.workers)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         started = time.time()
         print(f"== {name} ==")
-        points = EXPERIMENTS[name](args.quick)
+        if workers > 1 and name not in PARALLEL_EXPERIMENTS:
+            print(f"[{name} has no parallel path; running serially]")
+        points = EXPERIMENTS[name](args.quick, workers)
         if args.csv and points:
             from ..metrics.export import write_csv
 

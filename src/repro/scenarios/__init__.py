@@ -26,6 +26,7 @@ from .compiler import (
     CheckpointRecord,
     CompiledProgram,
     ProgramRun,
+    ProgramRunEnvelope,
     compile_program,
     replay,
 )
@@ -60,6 +61,7 @@ __all__ = [
     "PROGRAM_FORMAT",
     "ProgramRegistry",
     "ProgramRun",
+    "ProgramRunEnvelope",
     "ScenarioProgram",
     "SetWindow",
     "SloChange",

@@ -58,6 +58,25 @@ class CheckpointRecord:
         return f"checkpoint/{self.label}@{self.at_us!r}={cells}"
 
 
+@dataclass(frozen=True)
+class ProgramRunEnvelope:
+    """A picklable summary of one replay, safe to ship across processes.
+
+    :class:`ProgramRun` holds the live :class:`Scenario` — generators,
+    engine state, open connections — which cannot cross a process
+    boundary.  The envelope carries everything a campaign merge needs:
+    the program's identity, its canonical digest (and sha256), and the
+    checkpoint count, all pure functions of (program, seed).
+    """
+
+    program_name: str
+    signature_sha256: str
+    digest: str
+    digest_sha256: str
+    n_checkpoints: int
+    elapsed_us: float
+
+
 @dataclass
 class ProgramRun:
     """Everything one replay produced."""
@@ -74,6 +93,22 @@ class ProgramRun:
         lines = [self.result.metrics_digest()]
         lines.extend(cp.render() for cp in self.checkpoints)
         return "\n".join(lines)
+
+    def envelope(self) -> ProgramRunEnvelope:
+        """The picklable cross-process summary of this run."""
+        import hashlib
+
+        digest = self.digest()
+        return ProgramRunEnvelope(
+            program_name=self.program.name,
+            signature_sha256=hashlib.sha256(
+                self.program.signature().encode()
+            ).hexdigest(),
+            digest=digest,
+            digest_sha256=hashlib.sha256(digest.encode()).hexdigest(),
+            n_checkpoints=len(self.checkpoints),
+            elapsed_us=self.result.elapsed_us,
+        )
 
 
 class CompiledProgram:

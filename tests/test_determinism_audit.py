@@ -33,11 +33,17 @@ FORBIDDEN = (
 #: generator constructs explicitly-seeded ``random.Random(seed)`` instances
 #: and never touches the module-level functions (generated programs are a
 #: pure function of the seed — pinned by tests/test_scenario_fuzz_golden.py).
+#: The parallel campaign runner reads the wall clock only for elapsed-time
+#: provenance (``elapsed_s``/``attempts``/``worker_pid``), which the
+#: differential suite pins as *excluded* from every campaign digest.
 ALLOWED = {
     "simcore/rng.py",
     "experiments/runner.py",
     "experiments/fuzz.py",
     "scenarios/generate.py",
+    "parallel/pool.py",
+    "parallel/sweeps.py",
+    "parallel/units.py",
 }
 
 
