@@ -129,8 +129,7 @@ def test_ablation_zero_copy_queue_footprint(benchmark, show):
     """CID-only queues: footprint independent of I/O size (§IV-B)."""
 
     def measure():
-        sc, res = _run(ratio="0:4", total_ops=300, window=64)
-        target = sc.target_nodes[0].target
+        _sc, res = _run(ratio="0:4", total_ops=300, window=64)
         # Peak queue residency equals one window per tenant; compute the
         # footprint both ways for a 64-deep window of 4 KiB requests.
         entries = 64 * 4

@@ -17,8 +17,7 @@ from conftest import run_once
 from repro.cluster import Scenario, ScenarioConfig
 from repro.metrics import format_table
 from repro.ssd.ftl import FtlConfig
-from repro.workloads import TenantSpec, tenants_for_ratio
-from repro.core.flags import Priority
+from repro.workloads import tenants_for_ratio
 
 
 def _run(protocol, transport="tcp", io_size=4096, pattern="seq", total_ops=500,

@@ -2,7 +2,7 @@
 
 from conftest import run_once
 
-from repro.experiments.fig8 import curve_gain_at_max_scale, format_fig8, run_fig8
+from repro.experiments.fig8 import format_fig8, run_fig8
 
 
 def test_fig8_pattern1_initiators_per_node(benchmark, show):

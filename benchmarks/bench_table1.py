@@ -2,7 +2,7 @@
 
 from conftest import run_once
 
-from repro.experiments.table1 import run_table1, table1_rows
+from repro.experiments.table1 import table1_rows
 
 
 def test_table1(benchmark, show):

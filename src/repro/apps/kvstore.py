@@ -21,7 +21,7 @@ verify get-after-put across flushes and compactions.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
 from ..core.flags import Priority
@@ -183,11 +183,9 @@ class KvStore:
         if len(self.segments) <= 1:
             return None
         merged: Dict[str, int] = {}
-        total_blocks = 0
         for segment in self.segments:  # oldest first: newer wins
             for key, (_off, size) in segment.index.items():
                 merged[key] = size
-            total_blocks += segment.nblocks
         # Read everything back (sequentially, throughput-critical)...
         for segment in self.segments:
             yield from self._read_blocks(segment.base_lba, segment.nblocks)

@@ -9,7 +9,7 @@ physical host.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..core.initiator import OpfInitiator
 from ..core.target import OpfTarget
@@ -27,7 +27,6 @@ from ..ssd.ftl import FtlConfig
 from ..ssd.latency import SsdProfile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..core.flags import Priority
     from ..metrics.collector import Collector
     from ..simcore.engine import Environment
     from ..simcore.rng import RandomStreams

@@ -22,7 +22,6 @@ from ..core.flags import Priority
 from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
 from ..errors import ConfigError
 from ..metrics.collector import Collector
-from ..metrics.percentile import LatencyDistribution
 from ..metrics.report import jain_fairness
 from ..net.topology import Fabric
 from ..nvmeof.discovery import DiscoveryService
@@ -38,7 +37,7 @@ from ..ssd.ftl import FtlConfig
 from ..units import BLOCK_4K
 from ..workloads.mixes import TenantSpec
 from ..workloads.perf import PerfConfig, PerfGenerator
-from .node import InitiatorNode, PROTOCOL_OPF, PROTOCOL_SPDK, PROTOCOLS, TargetNode
+from .node import InitiatorNode, PROTOCOL_SPDK, PROTOCOLS, TargetNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..faults.injector import Injector

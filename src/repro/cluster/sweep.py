@@ -12,7 +12,7 @@ from dataclasses import replace
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..errors import ConfigError
-from ..workloads.mixes import TenantSpec, tenants_for_ratio
+from ..workloads.mixes import tenants_for_ratio
 from .scenario import Scenario, ScenarioConfig, ScenarioResult
 
 #: A sweep point: parameter dict + the result it produced.

@@ -10,8 +10,8 @@ completion of work still in flight.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from dataclasses import dataclass
+from typing import List, Set
 
 from ..errors import ProtocolError
 

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Optional
 
-from ..errors import ProtocolError
 from ..net.tcp import _RestartableTimer
 from ..nvmeof.capsule import Sqe
 from ..nvmeof.initiator import NvmeOfInitiator

@@ -25,7 +25,7 @@ from ..errors import ConfigError, ProtocolError
 from .cid_queue import CidQueue, cid_le
 from .coalescing import CoalescingStats, DrainGroup
 from .flags import Priority, pack_flags, unpack_flags
-from .tenant import TenantContext, TenantRegistry
+from .tenant import TenantRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..nvmeof.capsule import Sqe

@@ -21,7 +21,7 @@ from ..nvmeof.pdu import C2HDataPdu, CapsuleCmdPdu, CapsuleRespPdu, IcReqPdu
 from ..nvmeof.target import NvmeOfTarget, RequestContext, TargetConnection
 from ..ssd.latency import OP_FLUSH, OP_READ
 from .coalescing import DrainGroup
-from .flags import Priority
+from .flags import FLAG_DRAINING, Priority
 from .priority_manager import TargetPriorityManager
 from .tenant import TenantRegistry
 
@@ -106,9 +106,8 @@ class OpfTarget(NvmeOfTarget):
     @staticmethod
     def _is_drain_marker(pdu: CapsuleCmdPdu) -> bool:
         """An explicit drain (flush + DRAINING) is consumed by the PM."""
-        from .flags import FLAG_DRAINING
-
-        return pdu.sqe.op_name == OP_FLUSH and bool(pdu.sqe.rsvd_priority & FLAG_DRAINING)
+        sqe = pdu.sqe
+        return sqe.op_name == OP_FLUSH and bool(sqe.rsvd_priority & FLAG_DRAINING)
 
     def _execute_batch(
         self,
@@ -116,13 +115,17 @@ class OpfTarget(NvmeOfTarget):
         batch: List[Tuple[TargetConnection, CapsuleCmdPdu]],
     ) -> None:
         markers: List[Tuple[TargetConnection, CapsuleCmdPdu]] = []
+        members: List[Tuple[TargetConnection, CapsuleCmdPdu]] = []
         for conn, pdu in batch:
             if self._is_drain_marker(pdu):
                 markers.append((conn, pdu))
-                continue
-            self._submit_to_device(
-                conn, pdu, group.tenant_id, draining=False, group=group
-            )
+            else:
+                members.append((conn, pdu))
+        if members:
+            # One doorbell per consecutive same-device run instead of one
+            # per member; submission order (and so CID/draw/seq order) is
+            # exactly that of per-member _submit_to_device calls.
+            self._submit_to_device_batch(members, group.tenant_id, group=group)
         # Drain markers complete instantly in the PM (they never touch the
         # device); doing this *after* real submissions keeps group.pending
         # consistent even for a marker-only group.

@@ -10,7 +10,7 @@ demonstrable.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..errors import TenantError
 from .cid_queue import CidQueue

@@ -14,6 +14,7 @@ keeps the event count low enough for the large scale-out experiments.
 from __future__ import annotations
 
 from collections import defaultdict
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Dict, Optional
 
 from ..errors import SimulationError
@@ -25,6 +26,16 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 class CpuCore:
     """A non-preemptive FIFO single-core executor with utilisation accounting."""
+
+    __slots__ = (
+        "env",
+        "name",
+        "_avail_at",
+        "_busy_time",
+        "_started_at",
+        "_task_count",
+        "_busy_by_label",
+    )
 
     def __init__(self, env: "Environment", name: str = "core") -> None:
         self.env = env
@@ -70,13 +81,21 @@ class CpuCore:
         if cost < 0:
             raise SimulationError(f"negative CPU cost: {cost}")
         env = self.env
-        start = self._avail_at if self._avail_at > env.now else env.now
+        now = env.now
+        start = self._avail_at
+        if start < now:
+            start = now
         finish = start + cost
         self._avail_at = finish
         self._busy_time += cost
         self._busy_by_label[label] += cost
         self._task_count += 1
-        env.call_later(finish - env.now, fn, arg)
+        # Inlined env.call_later: cost was validated non-negative above, so
+        # the delay is always legal.  The timestamp is computed exactly as
+        # call_later would (now + delay) to preserve float identity.
+        seq = env._seq
+        env._seq = seq + 1
+        _heappush(env._queue, (now + (finish - now), 1, seq, fn, arg))
         return finish
 
     def charge(self, cost: float, label: str = "task") -> float:

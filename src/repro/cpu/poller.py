@@ -8,7 +8,7 @@ one core, every call is attributed to its poller, and per-poller statistics
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict
 
 from ..errors import ConfigError

@@ -20,7 +20,7 @@ import sys
 import time
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..errors import ConfigError, ReproError
 from ..metrics.report import format_table

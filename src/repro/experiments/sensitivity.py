@@ -11,7 +11,7 @@ everywhere and the tables show how the *magnitude* moves.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import List, Sequence
 
 from ..cluster.scenario import Scenario, ScenarioConfig

@@ -15,7 +15,7 @@ it for tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..cluster.scenario import Scenario, ScenarioConfig
 from ..metrics.report import format_table, improvement_pct, reduction_pct

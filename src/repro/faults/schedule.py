@@ -13,7 +13,7 @@ tests can assert two same-seed schedules are byte-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence, Tuple, Union
 
 from ..errors import FaultError

@@ -9,7 +9,7 @@ into 4 KiB fabric I/O.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..errors import Hdf5Error
 from ..units import BLOCK_4K

@@ -117,14 +117,19 @@ class Collector:
     def record(self, initiator_name: str, request: "IoRequest") -> None:
         """Record one completed request (called by the initiator runtime)."""
         self.total_recorded += 1
-        self._priorities.setdefault(initiator_name, request.priority)
-        self._records.setdefault(initiator_name, []).append(
+        records = self._records.get(initiator_name)
+        if records is None:
+            # First record from this initiator: register its list and pin
+            # its priority (record() is the only writer of either dict).
+            records = self._records[initiator_name] = []
+            self._priorities.setdefault(initiator_name, request.priority)
+        records.append(
             _Record(
-                completed_at=request.completed_at or 0.0,
-                latency=request.latency,
-                nbytes=request.nbytes,
-                op=request.op,
-                status=request.status or 0,
+                request.completed_at or 0.0,
+                request.latency,
+                request.nbytes,
+                request.op,
+                request.status or 0,
             )
         )
 

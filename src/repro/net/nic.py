@@ -21,6 +21,18 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Nic:
     """One host network interface."""
 
+    __slots__ = (
+        "env",
+        "node",
+        "egress",
+        "_handlers",
+        "rx_packets",
+        "rx_dropped",
+        "tx_packets",
+        "tx_dropped",
+        "fault_down",
+    )
+
     def __init__(self, env: "Environment", node: str, egress: Link) -> None:
         self.env = env
         self.node = node

@@ -57,6 +57,9 @@ class Packet:
         "messages",
         "sent_at",
         "retransmit",
+        "wire_size",
+        "deliver_at",
+        "_carrier",
     )
 
     def __init__(
@@ -79,14 +82,16 @@ class Packet:
         self.seq = seq
         self.length = length
         self.ack = ack
-        self.messages = messages or []
+        self.messages = [] if messages is None else messages
         self.sent_at = 0.0
         self.retransmit = retransmit
-
-    @property
-    def wire_size(self) -> int:
-        """Bytes this frame occupies on the wire, including all overheads."""
-        return self.length + WIRE_OVERHEAD
+        #: Bytes this frame occupies on the wire, including all overheads —
+        #: precomputed once (it is read several times per link traversal).
+        self.wire_size = length + WIRE_OVERHEAD
+        #: Scheduled delivery time on the link currently carrying the frame
+        #: (maintained by :class:`repro.net.link.Link`).
+        self.deliver_at = 0.0
+        self._carrier: Any = None
 
     @property
     def is_data(self) -> bool:

@@ -140,7 +140,7 @@ class RdmaSocket:
                 # silently corrupt the reliable-delivery contract.
                 raise NetworkError(
                     f"RDMA frame dropped on {self.local_node!r}: fabric queues "
-                    f"too shallow for lossless operation (raise queue_packets)"
+                    "too shallow for lossless operation (raise queue_packets)"
                 )
             offset += frame_len
 

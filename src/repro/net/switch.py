@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class Switch:
     """Store-and-forward switch with per-port output queues."""
 
+    __slots__ = ("env", "name", "forwarding_delay", "_ports", "forwarded", "unroutable")
+
     def __init__(self, env: "Environment", forwarding_delay_us: float = 0.5, name: str = "sw") -> None:
         if forwarding_delay_us < 0:
             raise NetworkError("forwarding delay must be non-negative")
@@ -44,12 +46,13 @@ class Switch:
 
     def receive(self, packet: Packet) -> None:
         """Ingress handler: look up the output port and forward."""
-        egress = self._ports.get(packet.dst)
-        if egress is None:
+        try:
+            egress = self._ports[packet.dst]
+        except KeyError:
             self.unroutable += 1
             raise NetworkError(
                 f"switch {self.name!r} has no port for destination {packet.dst!r}"
-            )
+            ) from None
         self.forwarded += 1
         if self.forwarding_delay == 0:
             egress.send(packet)

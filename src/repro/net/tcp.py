@@ -18,12 +18,11 @@ steady-state measurements), no Nagle (SPDK disables it), no SACK.
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from ..errors import ConfigError, NetworkError
-from ..simcore.events import Event
 from .nic import Nic
 from .packet import DEFAULT_MSS, Packet
 
@@ -98,6 +97,8 @@ class _RestartableTimer:
     process + one Timeout per sleep).
     """
 
+    __slots__ = ("env", "callback", "name", "_deadline", "_wakeups")
+
     def __init__(self, env: "Environment", callback: Callable[[], None], name: str) -> None:
         self.env = env
         self.callback = callback
@@ -144,6 +145,42 @@ class TcpSocket:
     (:func:`repro.net.topology.connect`) does this for you.
     """
 
+    __slots__ = (
+        "env",
+        "nic",
+        "local_node",
+        "remote_node",
+        "conn_id",
+        "config",
+        "deliver",
+        "name",
+        "stats",
+        "_snd_una",
+        "_snd_nxt",
+        "_buffered_end",
+        "_msg_ends",
+        "_msg_payloads",
+        "_msg_head",
+        "_cwnd",
+        "_ssthresh",
+        "_dup_acks",
+        "_recover",
+        "_in_fast_recovery",
+        "_srtt",
+        "_rttvar",
+        "_rto",
+        "_rtt_seq",
+        "_rtt_sent",
+        "_rto_timer",
+        "_rcv_nxt",
+        "_ooo",
+        "_pend_ends",
+        "_pend_payloads",
+        "_delivered_upto",
+        "_unacked_arrivals",
+        "_ack_timer",
+    )
+
     def __init__(
         self,
         env: "Environment",
@@ -169,7 +206,15 @@ class TcpSocket:
         self._snd_una = 0
         self._snd_nxt = 0
         self._buffered_end = 0
-        self._msgs: Deque[Tuple[int, Any]] = deque()  # (end_offset, payload), unacked
+        # Unacked message framing as parallel arrays (struct-of-arrays): end
+        # offsets ascend monotonically (each message ends after the last), so
+        # segment framing is a bisect slice and the ACK prune is a bisect
+        # head advance — O(log n + k) per segment instead of the old
+        # deque-of-tuples linear scan.  ``_msg_head`` is the consumed
+        # (acked) prefix; storage compacts lazily once the prefix dominates.
+        self._msg_ends: List[int] = []
+        self._msg_payloads: List[Any] = []
+        self._msg_head = 0
         self._cwnd = float(cfg.init_cwnd_segments * cfg.mss)
         self._ssthresh = float(cfg.rwnd_bytes)
         self._dup_acks = 0
@@ -185,7 +230,13 @@ class TcpSocket:
         # -- receiver state
         self._rcv_nxt = 0
         self._ooo: Dict[int, Tuple[int, List[Tuple[int, Any]]]] = {}  # seq -> (len, msgs)
-        self._pending_msgs: Dict[int, Any] = {}  # end_offset -> payload
+        # Staged-for-delivery framing, again as sorted parallel arrays:
+        # within one arrival event stashes come in ascending end order (the
+        # sender frames segments in offset order and the out-of-order merge
+        # walks forward), so staging is an append and delivery is a prefix
+        # walk — no per-delivery dict + sorted() pass.
+        self._pend_ends: List[int] = []
+        self._pend_payloads: List[Any] = []
         self._delivered_upto = 0
         self._unacked_arrivals = 0
         self._ack_timer = _RestartableTimer(env, self._send_ack_now, f"{name}/dack")
@@ -197,10 +248,13 @@ class TcpSocket:
         """Queue a ``size``-byte message for reliable in-order delivery."""
         if size < 1:
             raise NetworkError("message size must be at least 1 byte")
-        self.stats.messages_sent += 1
-        self.stats.bytes_sent += size
-        self._buffered_end += size
-        self._msgs.append((self._buffered_end, payload))
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.bytes_sent += size
+        end = self._buffered_end + size
+        self._buffered_end = end
+        self._msg_ends.append(end)
+        self._msg_payloads.append(payload)
         self._try_send()
 
     @property
@@ -221,41 +275,60 @@ class TcpSocket:
         return self._buffered_end - self._snd_nxt
 
     def _try_send(self) -> None:
-        cfg = self.config
-        window = min(self._cwnd, float(cfg.rwnd_bytes))
-        while (
-            self._snd_nxt < self._buffered_end
-            and self._snd_nxt - self._snd_una + cfg.mss <= window + cfg.mss - 1
-        ):
-            # Allow a final short segment even if it slightly overshoots the
-            # window by less than one MSS (standard sender behaviour).
-            if self._snd_nxt - self._snd_una >= window:
-                break
-            size = min(cfg.mss, self._buffered_end - self._snd_nxt)
-            self._emit_segment(self._snd_nxt, size, retransmit=False)
-            self._snd_nxt += size
-        if self.bytes_in_flight > 0 and not self._rto_timer.armed:
+        snd_nxt = self._snd_nxt
+        buffered_end = self._buffered_end
+        if snd_nxt < buffered_end:
+            cfg = self.config
+            mss = cfg.mss
+            snd_una = self._snd_una
+            window = self._cwnd
+            rwnd = float(cfg.rwnd_bytes)
+            if rwnd < window:
+                window = rwnd
+            limit = window + mss - 1
+            while snd_nxt < buffered_end and snd_nxt - snd_una + mss <= limit:
+                # Allow a final short segment even if it slightly overshoots
+                # the window by less than one MSS (standard sender behaviour).
+                if snd_nxt - snd_una >= window:
+                    break
+                size = buffered_end - snd_nxt
+                if size > mss:
+                    size = mss
+                self._emit_segment(snd_nxt, size, False)
+                snd_nxt += size
+            self._snd_nxt = snd_nxt
+        if snd_nxt > self._snd_una and self._rto_timer._deadline is None:
             self._rto_timer.restart(self._rto)
 
     def _segment_messages(self, seq: int, size: int) -> List[Tuple[int, Any]]:
         """Messages whose final byte falls within [seq, seq+size)."""
-        lo, hi = seq, seq + size
-        return [(end, payload) for end, payload in self._msgs if lo < end <= hi]
+        ends = self._msg_ends
+        i = bisect_right(ends, seq, self._msg_head)
+        j = bisect_right(ends, seq + size, i)
+        if i == j:
+            # Most data segments carry no message boundary; skip the
+            # slice+zip machinery for them.
+            return []
+        return list(zip(ends[i:j], self._msg_payloads[i:j]))
 
     def _emit_segment(self, seq: int, size: int, retransmit: bool) -> None:
+        # Positional Packet construction: this and the ACK path are the two
+        # hottest allocation sites in the simulator.
         packet = Packet(
-            src=self.local_node,
-            dst=self.remote_node,
-            conn_id=self.conn_id,
-            kind="data",
-            seq=seq,
-            length=size,
-            messages=self._segment_messages(seq, size),
-            retransmit=retransmit,
+            self.local_node,
+            self.remote_node,
+            self.conn_id,
+            "data",
+            seq,
+            size,
+            0,
+            self._segment_messages(seq, size),
+            retransmit,
         )
-        self.stats.segments_sent += 1
+        stats = self.stats
+        stats.segments_sent += 1
         if retransmit:
-            self.stats.retransmits += 1
+            stats.retransmits += 1
         elif self._rtt_seq is None:
             # Karn: time exactly one non-retransmitted segment at a time.
             self._rtt_seq = seq + size
@@ -264,7 +337,7 @@ class TcpSocket:
 
     # ------------------------------------------------------------------- rx ---
     def _on_packet(self, packet: Packet) -> None:
-        if packet.is_ack:
+        if packet.kind == "ack":
             self._on_ack(packet.ack)
         else:
             self._on_data(packet)
@@ -282,9 +355,16 @@ class TcpSocket:
                 # the recovery efficiency SACK gives real Linux TCP.
                 self._snd_nxt = ackno
             self._dup_acks = 0
-            # Prune acked messages from the sender-side framing list.
-            while self._msgs and self._msgs[0][0] <= ackno:
-                self._msgs.popleft()
+            # Prune acked messages: advance the consumed-prefix index, and
+            # compact storage once the dead prefix is both large and the
+            # majority of the arrays.
+            head = bisect_right(self._msg_ends, ackno, self._msg_head)
+            if head != self._msg_head:
+                self._msg_head = head
+                if head >= 1024 and head * 2 >= len(self._msg_ends):
+                    del self._msg_ends[:head]
+                    del self._msg_payloads[:head]
+                    self._msg_head = 0
             # RTT sample (Karn-filtered).
             if self._rtt_seq is not None and ackno >= self._rtt_seq:
                 self._rtt_update(self.env.now - self._rtt_sent)
@@ -307,18 +387,18 @@ class TcpSocket:
                 self._cwnd += cfg.mss * cfg.mss / self._cwnd  # congestion avoidance
             # Anything new acked: back-off resets, timer re-arms.
             self._rto = max(cfg.min_rto_us, min(self._compute_rto(), cfg.max_rto_us))
-            if self.bytes_in_flight > 0:
+            if self._snd_nxt > ackno:
                 self._rto_timer.restart(self._rto)
             else:
                 self._rto_timer.stop()
             self._try_send()
-        elif self.bytes_in_flight > 0:
+        elif self._snd_nxt > self._snd_una:
             self.stats.dup_acks_seen += 1
             self._dup_acks += 1
             if self._dup_acks == cfg.dupack_threshold and not self._in_fast_recovery:
                 # Fast retransmit + fast recovery.
                 self.stats.fast_retransmits += 1
-                flight = float(self.bytes_in_flight)
+                flight = float(self._snd_nxt - self._snd_una)
                 self._ssthresh = max(flight / 2.0, 2.0 * cfg.mss)
                 self._cwnd = self._ssthresh + cfg.dupack_threshold * cfg.mss
                 self._recover = self._snd_nxt
@@ -371,20 +451,28 @@ class TcpSocket:
     def _on_data(self, packet: Packet) -> None:
         cfg = self.config
         seq, length = packet.seq, packet.length
-        if seq == self._rcv_nxt:
-            self._rcv_nxt += length
-            self._stash_messages(packet.messages)
+        rcv_nxt = self._rcv_nxt
+        if seq == rcv_nxt:
+            self._rcv_nxt = rcv_nxt + length
+            if packet.messages:
+                self._stash_messages(packet.messages)
             # Merge any buffered out-of-order segments now contiguous.
-            while self._rcv_nxt in self._ooo:
-                olen, omsgs = self._ooo.pop(self._rcv_nxt)
-                self._rcv_nxt += olen
-                self._stash_messages(omsgs)
-            self._deliver_ready()
-            self._unacked_arrivals += 1
-            if self._unacked_arrivals >= cfg.ack_every or self._ooo:
+            ooo = self._ooo
+            if ooo:
+                while self._rcv_nxt in ooo:
+                    olen, omsgs = ooo.pop(self._rcv_nxt)
+                    self._rcv_nxt += olen
+                    if omsgs:
+                        self._stash_messages(omsgs)
+            if self._pend_ends:
+                self._deliver_ready()
+            arrivals = self._unacked_arrivals + 1
+            if arrivals >= cfg.ack_every or ooo:
                 self._send_ack_now()
-            elif not self._ack_timer.armed:
-                self._ack_timer.restart(cfg.delayed_ack_us)
+            else:
+                self._unacked_arrivals = arrivals
+                if self._ack_timer._deadline is None:
+                    self._ack_timer.restart(cfg.delayed_ack_us)
         elif seq > self._rcv_nxt:
             # Hole: buffer and emit an immediate duplicate ACK.
             if seq not in self._ooo:
@@ -395,34 +483,71 @@ class TcpSocket:
             self._send_ack_now()
 
     def _stash_messages(self, messages: List[Tuple[int, Any]]) -> None:
+        ends = self._pend_ends
+        payloads = self._pend_payloads
         for end, payload in messages:
-            if end > self._delivered_upto and end not in self._pending_msgs:
-                self._pending_msgs[end] = payload
+            if end <= self._delivered_upto:
+                continue
+            if not ends or end > ends[-1]:
+                # The invariant case: stashes within one arrival event come
+                # in ascending end order, so staging is a pair of appends.
+                ends.append(end)
+                payloads.append(payload)
+            else:
+                # Defensive slow path (overlapping retransmit framing):
+                # sorted insert, first stash of an offset wins.
+                idx = bisect_right(ends, end)
+                if idx > 0 and ends[idx - 1] == end:
+                    continue
+                ends.insert(idx, end)
+                payloads.insert(idx, payload)
 
     def _deliver_ready(self) -> None:
-        if not self._pending_msgs:
+        ends = self._pend_ends
+        if not ends:
             return
-        ready = sorted(end for end in self._pending_msgs if end <= self._rcv_nxt)
-        for end in ready:
-            payload = self._pending_msgs.pop(end)
+        # ``ends`` is sorted ascending, so the deliverable prefix is a walk —
+        # identical order to the old per-call sorted() over a staging dict.
+        rcv_nxt = self._rcv_nxt
+        n = bisect_right(ends, rcv_nxt)
+        if n == 0:
+            return
+        payloads = self._pend_payloads
+        if n == 1:
+            # Dominant case (one message ready per arrival): pop-then-deliver
+            # without building prefix copies.  Popping first keeps the same
+            # re-entrancy safety as the snapshot below.
+            end = ends[0]
+            payload = payloads[0]
+            del ends[0]
+            del payloads[0]
             self._delivered_upto = end
-            self.stats.messages_delivered += 1
-            self.stats.bytes_delivered = end
+            stats = self.stats
+            stats.messages_delivered += 1
+            stats.bytes_delivered = end
             if self.deliver is not None:
                 self.deliver(payload)
+            return
+        ready_ends = ends[:n]
+        ready_payloads = payloads[:n]
+        del ends[:n]
+        del payloads[:n]
+        stats = self.stats
+        deliver = self.deliver
+        for i in range(n):
+            end = ready_ends[i]
+            self._delivered_upto = end
+            stats.messages_delivered += 1
+            stats.bytes_delivered = end
+            if deliver is not None:
+                deliver(ready_payloads[i])
 
     def _send_ack_now(self) -> None:
         self._unacked_arrivals = 0
-        self._ack_timer.stop()
+        self._ack_timer._deadline = None
         self.stats.acks_sent += 1
         self.nic.transmit(
-            Packet(
-                src=self.local_node,
-                dst=self.remote_node,
-                conn_id=self.conn_id,
-                kind="ack",
-                ack=self._rcv_nxt,
-            )
+            Packet(self.local_node, self.remote_node, self.conn_id, "ack", 0, 0, self._rcv_nxt)
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

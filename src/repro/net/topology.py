@@ -51,7 +51,13 @@ class Fabric:
         self.rate_gbps = rate_gbps
         self.propagation_us = propagation_us
         self.queue_packets = queue_packets
-        self.switch = Switch(env, forwarding_delay_us=switch_delay_us, name=f"{name}/sw")
+        self.switch_delay_us = switch_delay_us
+        # The switch's fixed forwarding delay is folded into the *uplink*
+        # propagation (host->switch leg) so the switch forwards synchronously
+        # on packet arrival: every frame reaches the egress queue at exactly
+        # the same simulated time as a delayed forward would produce, but
+        # without a dedicated forwarding event per frame.
+        self.switch = Switch(env, forwarding_delay_us=0.0, name=f"{name}/sw")
         self._nics: Dict[str, Nic] = {}
         self._uplinks: Dict[str, Link] = {}
         self._downlinks: Dict[str, Link] = {}
@@ -67,7 +73,7 @@ class Fabric:
         up = Link(
             self.env,
             rate_gbps=rate,
-            propagation_us=self.propagation_us,
+            propagation_us=self.propagation_us + self.switch_delay_us,
             queue_packets=self.queue_packets,
             name=f"{node}->sw",
             tracer=self.tracer,
@@ -117,7 +123,7 @@ class Fabric:
     ) -> Tuple[TcpSocket, TcpSocket]:
         """Create a connected TCP socket pair between two attached nodes."""
         if node_a not in self._nics or node_b not in self._nics:
-            raise NetworkError(f"both nodes must be attached before connecting "
+            raise NetworkError("both nodes must be attached before connecting "
                                f"({node_a!r}, {node_b!r})")
         if node_a == node_b:
             raise NetworkError("cannot connect a node to itself")
@@ -140,8 +146,8 @@ class Fabric:
 
     def total_drops(self) -> int:
         """Dropped frames across every link (congestion indicator)."""
-        return sum(l.stats.dropped for l in self._uplinks.values()) + sum(
-            l.stats.dropped for l in self._downlinks.values()
+        return sum(link.stats.dropped for link in self._uplinks.values()) + sum(
+            link.stats.dropped for link in self._downlinks.values()
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

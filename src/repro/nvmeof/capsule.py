@@ -46,7 +46,7 @@ _SQE_PACK = struct.Struct("<BBHIBB6x8x16sQH14x")
 _CQE_PACK = struct.Struct("<I4xHHHH")
 
 
-@dataclass
+@dataclass(slots=True)
 class Sqe:
     """One submission queue entry (command capsule payload)."""
 
@@ -126,7 +126,7 @@ class Sqe:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class Cqe:
     """One completion queue entry (response capsule payload)."""
 

@@ -15,7 +15,7 @@ from ..cpu.core import CpuCore
 from ..cpu.costs import CpuCostModel, DEFAULT_COSTS
 from ..errors import ProtocolError
 from ..simcore.events import Event
-from ..ssd.latency import OP_FLUSH, OP_READ, OP_WRITE
+from ..ssd.latency import OP_READ, OP_WRITE
 from ..ssd.queues import STATUS_INTERNAL_ERROR
 from ..units import BLOCK_4K
 from .capsule import Sqe
@@ -114,6 +114,9 @@ class NvmeOfInitiator:
         self.block_size = block_size
         self.collector = collector
         self.stats = InitiatorStats()
+        #: Pre-bound transmit callback (one per command send; binding it at
+        #: each call site would allocate a method object per command).
+        self._tx_cb = self._tx
         self.transport: Optional[PduTransport] = None
         self._connected_event: Optional[Event] = None
         self._connected = False
@@ -265,13 +268,13 @@ class NvmeOfInitiator:
             self.stats.deferred_sends += 1
             self._count("recovery/deferred_send")
             return
-        sqe = Sqe.for_io(request.op, cid=request.cid, nsid=request.nsid,
-                         slba=request.slba, nlb=request.nlb)
+        sqe = Sqe.for_io(request.op, request.cid, request.nsid,
+                         request.slba, request.nlb)
         self._fill_reserved(sqe, request)
         data_len = request.nbytes if request.op == OP_WRITE else 0
-        pdu = CapsuleCmdPdu(sqe=sqe, data_len=data_len)
+        pdu = CapsuleCmdPdu(sqe, data_len)
         # Callback fast path: no Event (and no closure) per command send.
-        self.core.run_later(self.costs.pdu_tx, self._tx, pdu, label="cmd_tx")
+        self.core.run_later(self.costs.pdu_tx, self._tx_cb, pdu, label="cmd_tx")
 
     def _tx(self, pdu: Any) -> None:
         self.transport.send(pdu)

@@ -44,7 +44,7 @@ def _encode_ch(pdu_type: int, flags: int, hlen: int, plen: int) -> bytes:
     return _CH_PACK.pack(pdu_type, flags, hlen, 0, plen)
 
 
-@dataclass
+@dataclass(slots=True)
 class IcReqPdu:
     """Initialize Connection Request (host -> controller)."""
 
@@ -102,7 +102,7 @@ class IcReqPdu:
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class IcRespPdu:
     """Initialize Connection Response (controller -> host)."""
 
@@ -128,7 +128,7 @@ class IcRespPdu:
         return cls(pfv=pfv, cpda=cpda, maxh2cdata=maxh2cdata)
 
 
-@dataclass
+@dataclass(slots=True)
 class CapsuleCmdPdu:
     """Command capsule: CH + SQE (+ in-capsule data for writes)."""
 
@@ -157,7 +157,7 @@ class CapsuleCmdPdu:
         return cls(sqe=sqe, data_len=plen - cls.HLEN)
 
 
-@dataclass
+@dataclass(slots=True)
 class CapsuleRespPdu:
     """Response capsule: CH + CQE.  This is the *completion notification*
     whose count NVMe-oPF reduces (Fig. 6c)."""
@@ -186,7 +186,7 @@ class CapsuleRespPdu:
         return cls(cqe=cqe, coalesced=bool(flags & 0x80))
 
 
-@dataclass
+@dataclass(slots=True)
 class C2HDataPdu:
     """Controller-to-host data (read payload)."""
 
@@ -218,7 +218,7 @@ class C2HDataPdu:
         return cls(cid=cid, data_len=data_len, offset=offset, last=bool(flags & 0x04))
 
 
-@dataclass
+@dataclass(slots=True)
 class H2CDataPdu:
     """Host-to-controller data (unused on the happy path; writes are
     in-capsule, matching SPDK's configuration, but the type exists for

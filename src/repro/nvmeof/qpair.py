@@ -109,7 +109,7 @@ class IoRequest:
         if self.status == STATUS_HOST_TIMEOUT:
             raise RetryExhaustedError(
                 f"request cid={self.cid} {self.op} slba={self.slba} abandoned "
-                f"after exhausting its retry budget"
+                "after exhausting its retry budget"
             )
         raise DeviceError(
             f"request cid={self.cid} {self.op} failed with NVMe status "
@@ -168,15 +168,15 @@ class FabricQpair:
         cid = self._alloc_cid()
         nbytes = 0 if op == OP_FLUSH else nlb * block_size
         request = IoRequest(
-            cid=cid,
-            op=op,
-            nsid=nsid,
-            slba=slba,
-            nlb=nlb,
-            nbytes=nbytes,
-            priority=priority,
-            tenant_id=tenant_id,
-            context=context,
+            cid,
+            op,
+            nsid,
+            slba,
+            nlb,
+            nbytes,
+            priority,
+            tenant_id,
+            context,
         )
         self._outstanding[cid] = request
         self.total_submitted += 1

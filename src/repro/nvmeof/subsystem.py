@@ -9,10 +9,10 @@ namespace each.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from ..errors import ConfigError, DeviceError
-from ..ssd.device import IoQpair, NvmeSsd
+from ..ssd.device import NvmeSsd
 
 
 @dataclass(frozen=True)

@@ -261,6 +261,52 @@ class NvmeOfTarget:
                 context=ctx,
             )
 
+    def _submit_to_device_batch(
+        self,
+        members: "List[tuple[TargetConnection, CapsuleCmdPdu]]",
+        tenant_id: int,
+        group: Any = None,
+    ) -> None:
+        """Submit a run of commands with one SQ doorbell per device run.
+
+        Members are processed strictly in order and consecutive commands
+        bound for the same device are placed in its SQ as one batch (one
+        doorbell), so CID allocation, controller execution order, RNG draw
+        order, and completion scheduling are exactly those of a loop of
+        ``_submit_to_device`` calls.  Used by the oPF batch-execution path,
+        whose members never take the latency-sensitive routing overrides.
+        """
+        run_qp: Optional[IoQpair] = None
+        specs: List[tuple] = []
+        for conn, pdu in members:
+            sqe = pdu.sqe
+            mapping = self.subsystem.resolve(sqe.nsid)
+            qp = self._device_qpairs[id(mapping.device)]
+            nbytes = (
+                sqe.nlb * mapping.device.profile.block_size if sqe.op_name != OP_FLUSH else 0
+            )
+            ctx = RequestContext(
+                conn=conn,
+                cid=sqe.cid,
+                op=sqe.op_name,
+                nbytes=nbytes,
+                tenant_id=tenant_id,
+                draining=False,
+                group=group,
+            )
+            if qp is not run_qp and specs:
+                assert run_qp is not None
+                run_qp.submit_batch(specs)
+                specs = []
+            run_qp = qp
+            if sqe.op_name == OP_FLUSH:
+                specs.append((OP_FLUSH, mapping.device_nsid, 0, 1, ctx))
+            else:
+                specs.append((sqe.op_name, mapping.device_nsid, sqe.slba, sqe.nlb, ctx))
+        if specs:
+            assert run_qp is not None
+            run_qp.submit_batch(specs)
+
     # -- completion path -----------------------------------------------------------
     def _on_device_completion(self, completion: NvmeCompletion) -> None:
         ctx: RequestContext = completion.command.context

@@ -14,7 +14,7 @@ from __future__ import annotations
 import time
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..cluster.scaling import ScalePoint
 from ..core.window import select_window
@@ -23,8 +23,8 @@ from ..faults.recovery import RetryPolicy
 from ..faults.schedule import FaultSchedule
 from ..scenarios.compiler import ProgramRunEnvelope
 from ..scenarios.library import register_library_programs
-from ..scenarios.program import DEFAULT_REGISTRY, ProgramRegistry, ScenarioProgram
-from .pool import CampaignResult, run_units
+from ..scenarios.program import DEFAULT_REGISTRY, ProgramRegistry
+from .pool import run_units
 from .units import (
     KIND_FIG8_CURVE,
     KIND_FIG9_POINT,

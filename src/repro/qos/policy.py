@@ -32,8 +32,8 @@ Three policies ship:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..core.flags import Priority
 from ..errors import ConfigError

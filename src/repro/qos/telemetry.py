@@ -111,32 +111,74 @@ class TenantTelemetry:
         self.latency_ewma = Ewma(latency_alpha)
         self.peak_ewma = Ewma(peak_alpha)
         self.tail = P2Quantile(tail_quantile)
-        self.total_ops = 0
-        self.total_bytes = 0
-        self.total_failed = 0
+        self._total_ops = 0
+        self._total_bytes = 0
+        self._total_failed = 0
         # Interval accumulators, drained by snapshot().
         self._iops = 0
         self._ibytes = 0
         self._imax = 0.0
         self._isum = 0.0
+        # Batched-update buffer: completions land here as raw
+        # (latency, nbytes, failed) tuples and are folded through the
+        # EWMA / P² estimators in arrival order by _flush() — once per
+        # controller tick (snapshot) instead of once per completion.
+        # Nothing reads estimator state mid-interval, so the flushed fold
+        # is bit-identical to eager per-completion updates.
+        self._pending: List[Tuple[float, int, bool]] = []
         # Sliding (bytes, interval_us) ring for the de-burst rate signal.
         self._rate_ring: Deque[Tuple[int, float]] = deque(maxlen=RATE_WINDOW_TICKS)
 
     # -- feeding ---------------------------------------------------------------
     def observe(self, latency_us: float, nbytes: int, failed: bool = False) -> None:
-        """Record one completion (failures count, but move no goodput bytes)."""
-        self.total_ops += 1
-        self._iops += 1
-        self._isum += latency_us
-        if latency_us > self._imax:
-            self._imax = latency_us
-        self.latency_ewma.update(latency_us)
-        self.tail.add(latency_us)
-        if failed:
-            self.total_failed += 1
-        else:
-            self.total_bytes += nbytes
-            self._ibytes += nbytes
+        """Record one completion (failures count, but move no goodput bytes).
+
+        The hot-path cost is one tuple append; estimator updates happen at
+        the next read (:meth:`snapshot`, :attr:`p99_estimate`, the totals).
+        """
+        self._pending.append((latency_us, nbytes, failed))
+
+    def _flush(self) -> None:
+        """Fold buffered completions through the estimators in order."""
+        pending = self._pending
+        if not pending:
+            return
+        latency_ewma = self.latency_ewma
+        tail_add = self.tail.add
+        imax = self._imax
+        isum = self._isum
+        for latency_us, nbytes, failed in pending:
+            isum += latency_us
+            if latency_us > imax:
+                imax = latency_us
+            latency_ewma.update(latency_us)
+            tail_add(latency_us)
+            if failed:
+                self._total_failed += 1
+            else:
+                self._total_bytes += nbytes
+                self._ibytes += nbytes
+        n = len(pending)
+        self._total_ops += n
+        self._iops += n
+        self._imax = imax
+        self._isum = isum
+        pending.clear()
+
+    @property
+    def total_ops(self) -> int:
+        self._flush()
+        return self._total_ops
+
+    @property
+    def total_bytes(self) -> int:
+        self._flush()
+        return self._total_bytes
+
+    @property
+    def total_failed(self) -> int:
+        self._flush()
+        return self._total_failed
 
     def observe_request(self, request: "IoRequest") -> None:
         """Tap entry point for initiator completion paths.
@@ -155,6 +197,7 @@ class TenantTelemetry:
     # -- draining --------------------------------------------------------------
     @property
     def p99_estimate(self) -> Optional[float]:
+        self._flush()
         if self.tail.count < MIN_TAIL_SAMPLES:
             return None
         return self.tail.value
@@ -166,6 +209,7 @@ class TenantTelemetry:
         completions: an idle tick carries no latency information and must
         not decay the breach detector toward zero.
         """
+        self._flush()
         ops, nbytes, imax, isum = self._iops, self._ibytes, self._imax, self._isum
         self._iops = 0
         self._ibytes = 0
@@ -191,9 +235,9 @@ class TenantTelemetry:
             latency_mean_us=isum / ops if ops else None,
             ewma_latency_us=self.latency_ewma.value,
             recent_peak_us=self.peak_ewma.value,
-            p99_us=self.p99_estimate,
-            total_ops=self.total_ops,
-            total_failed=self.total_failed,
+            p99_us=self.tail.value if self.tail.count >= MIN_TAIL_SAMPLES else None,
+            total_ops=self._total_ops,
+            total_failed=self._total_failed,
         )
 
 

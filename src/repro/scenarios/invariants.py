@@ -163,7 +163,7 @@ def check_conservation(
         problems.append(
             f"scenario books disagree: goodput {result.goodput_ops} + failed "
             f"{result.failed_ops} != per-tenant completions {completed_sum} "
-            f"(drain markers included)"
+            "(drain markers included)"
         )
     if result.failed_ops != failed_sum:
         problems.append(

@@ -16,7 +16,7 @@ the paper's figure setups to prove the vocabulary covers them.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..cluster.scenario import ScenarioConfig
@@ -139,11 +139,10 @@ class ScenarioProgram:
         ls_unbounded: List[str] = []
         has_tc = False
         has_fault = False
-        cursor = 0.0
         for index, action in enumerate(self.actions):
             where = f"program {self.name!r} action #{index} ({action.op})"
             if isinstance(action, Advance):
-                cursor += action.dt_us
+                continue  # advancing time needs no validation
             elif isinstance(action, TenantJoin):
                 if BURST_SEP in action.tenant:
                     raise _bad(f"{where}: {BURST_SEP!r} is reserved for burst names")
@@ -173,7 +172,7 @@ class ScenarioProgram:
                 if not cfg.qos_enabled:
                     raise _bad(
                         f"{where}: slo_change needs a QoS control plane — set a "
-                        f"non-static qos_policy or declare initial slos"
+                        "non-static qos_policy or declare initial slos"
                     )
                 self._require_live(where, action.tenant, joined, left)
             elif isinstance(action, FaultInject):
@@ -194,12 +193,12 @@ class ScenarioProgram:
         if has_fault and cfg.retry_policy is None:
             raise _bad(
                 f"program {self.name!r} injects faults but sets no retry_policy; "
-                f"recovery is required so no command is lost"
+                "recovery is required so no command is lost"
             )
         if not has_tc and ls_unbounded:
             raise _bad(
                 f"program {self.name!r} would never terminate: no "
-                f"throughput-critical work bounds the run and latency-sensitive "
+                "throughput-critical work bounds the run and latency-sensitive "
                 f"tenants {sorted(ls_unbounded)} have no op quota"
             )
 

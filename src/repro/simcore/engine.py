@@ -23,6 +23,16 @@ event processor), so callbacks and events interleave with exactly the same
 ``(time, priority, seq)`` tie-breaking — the fast path cannot perturb replay
 order.
 
+Batched scheduling (see docs/ARCHITECTURE.md, "Batched dispatch"):
+:meth:`Environment.call_later_batch` schedules ``fn(arg)`` for a whole list
+of args at one timestamp as a *single* heap entry that reserves a
+contiguous run of sequence numbers — one heap push and one heap pop per
+batch instead of per item, while replaying bit-identically to the
+equivalent loop of ``call_later`` calls.  The run loop additionally drains
+runs of same-timestamp entries into a reusable list and dispatches them
+without re-entering the heap, falling back to heap order the moment a
+dispatched callback schedules something that must sort earlier.
+
 Typical usage::
 
     env = Environment()
@@ -40,8 +50,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from itertools import count
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple, Union
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..errors import SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, NORMAL, Timeout, URGENT
@@ -103,21 +112,27 @@ def _process_event(event: Event) -> None:
 class Environment:
     """Execution environment for a single simulation run."""
 
-    __slots__ = ("_now", "_queue", "_seq", "_active_proc", "_timeout_pool")
+    __slots__ = ("now", "_queue", "_seq", "_active_proc", "_timeout_pool", "_batch")
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        self.now = float(initial_time)
         self._queue: List[Tuple[float, int, int, Callable[[Any], None], Any]] = []
-        self._seq = count()
+        # A plain int, not itertools.count: a batch reserves a contiguous
+        # run of sequence numbers with one addition instead of len(batch)
+        # next() calls.
+        self._seq = 0
         self._active_proc: Optional[Process] = None
         #: Free list of recycled :class:`Timeout` objects (see ``timeout()``).
         self._timeout_pool: List[Timeout] = []
+        #: Reusable same-timestamp drain list for the run loop (never
+        #: reallocated; cleared between drains).
+        self._batch: List[Tuple[float, int, int, Callable[[Any], None], Any]] = []
 
     # -- clock & introspection -----------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulation time in microseconds."""
-        return self._now
+    # ``now`` is a plain data attribute, not a property: the clock is read on
+    # every hot-path callback across every layer, and a slot read is the
+    # cheapest access Python offers.  Treat it as read-only outside the run
+    # loop.
 
     @property
     def active_process(self) -> Optional[Process]:
@@ -144,9 +159,11 @@ class Environment:
         """Enqueue ``event`` for processing at ``now + delay``."""
         if not 0.0 <= delay < Infinity:  # rejects negatives, NaN and inf alike
             raise self._bad_delay(delay)
+        seq = self._seq
+        self._seq = seq + 1
         _heappush(
             self._queue,
-            (self._now + delay, priority, next(self._seq), _process_event, event),
+            (self.now + delay, priority, seq, _process_event, event),
         )
 
     def call_later(
@@ -167,9 +184,9 @@ class Environment:
         """
         if not 0.0 <= delay < Infinity:
             raise self._bad_delay(delay)
-        _heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), fn, arg)
-        )
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (self.now + delay, priority, seq, fn, arg))
 
     def call_at(
         self,
@@ -179,16 +196,102 @@ class Environment:
         priority: int = NORMAL,
     ) -> None:
         """Schedule ``fn(arg)`` at absolute time ``t`` (must be >= now, finite)."""
-        if not self._now <= t < Infinity:  # rejects the past, NaN and inf alike
+        if not self.now <= t < Infinity:  # rejects the past, NaN and inf alike
             if isinstance(t, (int, float)) and not math.isfinite(t):
                 raise SimulationError(f"call_at time must be finite (got {t!r})")
-            raise SimulationError(f"call_at time {t!r} lies in the past (now={self._now})")
-        _heappush(self._queue, (t, priority, next(self._seq), fn, arg))
+            raise SimulationError(f"call_at time {t!r} lies in the past (now={self.now})")
+        seq = self._seq
+        self._seq = seq + 1
+        _heappush(self._queue, (t, priority, seq, fn, arg))
+
+    def call_later_batch(
+        self,
+        delay: float,
+        fn: Callable[[Any], None],
+        args: Sequence[Any],
+        priority: int = NORMAL,
+    ) -> None:
+        """Schedule ``fn(arg)`` for every ``arg`` in ``args`` at ``now + delay``.
+
+        Semantically identical to ``for arg in args: call_later(delay, fn,
+        arg)`` — the batch reserves the same contiguous run of sequence
+        numbers, so replay order is bit-for-bit the same — but it costs one
+        heap entry and one heap operation for the whole batch instead of
+        one per item.  Use it where a hot layer completes or emits many
+        items at one timestamp (device channel batches, coalesced windows,
+        telemetry flushes).
+
+        The engine takes ownership of ``args``: callers must not mutate the
+        sequence after scheduling.  An empty batch is a no-op (the delay is
+        still validated).
+        """
+        if not 0.0 <= delay < Infinity:
+            raise self._bad_delay(delay)
+        n = len(args)
+        if n == 0:
+            return
+        seq = self._seq
+        self._seq = seq + n
+        _heappush(
+            self._queue,
+            (self.now + delay, priority, seq, self._dispatch_batch, (fn, args, priority, seq)),
+        )
+
+    def _dispatch_batch(
+        self, token: Tuple[Callable[[Any], None], Sequence[Any], int, int]
+    ) -> None:
+        """Run one batch entry: ``fn(arg)`` per item, preserving heap order.
+
+        Items dispatch back-to-back with no per-item heap traffic.  The one
+        thing that could legally sort *between* two items of the batch is an
+        entry scheduled — by one of the batch's own callbacks — at the same
+        timestamp with a more urgent priority (same-priority entries always
+        carry later sequence numbers, and past timestamps cannot be
+        scheduled).  Callbacks only ever push onto the queue, so the guard
+        watches ``len(queue)``: while the length is unchanged nothing new
+        can preempt, and the common case pays one C-level ``len()`` per
+        item.  On preemption the batch's tail is pushed back as a new batch
+        entry keyed by the next undispatched item's sequence number, which
+        restores exact heap semantics.
+        """
+        fn, args, priority, seq = token
+        queue = self._queue
+        now = self.now
+        qlen = len(queue)
+        i = 0
+        try:
+            for arg in args:
+                if len(queue) != qlen:
+                    head = queue[0]
+                    if head[0] == now and head[1] < priority:
+                        _heappush(
+                            queue,
+                            (
+                                now,
+                                priority,
+                                seq + i,
+                                self._dispatch_batch,
+                                (fn, args[i:], priority, seq + i),
+                            ),
+                        )
+                        return
+                    qlen = len(queue)
+                i += 1
+                fn(arg)
+        except BaseException:
+            # Keep the heap resumable: the undispatched tail goes back as
+            # its own batch entry (same contiguous sequence numbers).
+            if i < len(args):
+                _heappush(
+                    queue,
+                    (now, priority, seq + i, self._dispatch_batch, (fn, args[i:], priority, seq + i)),
+                )
+            raise
 
     def step(self) -> None:
         """Process exactly one entry, advancing the clock to its time."""
         try:
-            self._now, _, _, fn, arg = _heappop(self._queue)
+            self.now, _, _, fn, arg = _heappop(self._queue)
         except IndexError:
             raise SimulationError("the event queue is empty") from None
         fn(arg)
@@ -213,27 +316,66 @@ class Environment:
             stop.callbacks.append(self._stop_callback)
         else:
             at = float(until)
-            if at < self._now:
-                raise SimulationError(f"until={at} lies in the past (now={self._now})")
+            if at < self.now:
+                raise SimulationError(f"until={at} lies in the past (now={self.now})")
             stop = Event(self)
             stop._ok = True
             stop._value = None
             # URGENT: fire before any NORMAL event at the same timestamp.
-            heapq.heappush(
-                self._queue, (at, URGENT, next(self._seq), _process_event, stop)
-            )
+            seq = self._seq
+            self._seq = seq + 1
+            heapq.heappush(self._queue, (at, URGENT, seq, _process_event, stop))
             stop.callbacks.append(self._stop_callback)
 
         # Inlined step() loop: one attribute fetch per run, not per event.
+        # Runs of same-timestamp entries are drained into a reusable list
+        # and dispatched without re-entering the heap; a per-item guard
+        # (cheap tuple compare against the heap head) restores exact heap
+        # order the moment a dispatched callback schedules something that
+        # must sort earlier — so the drain cannot perturb replay order.
         queue = self._queue
         pop = _heappop
+        push = _heappush
+        batch = self._batch
+        i = n = 0
         try:
             while queue:
-                entry = pop(queue)
-                self._now = entry[0]
-                entry[3](entry[4])
-        except StopSimulation as exc:
-            return exc.args[0]
+                t, _p, _s, fn, arg = pop(queue)
+                self.now = t
+                fn(arg)
+                # Same-timestamp drain only pays off for runs of >= 2
+                # entries; a single queued successor (the common chained
+                # shape) skips it on one cheap len() check.
+                while len(queue) > 1 and queue[0][0] == t:
+                    batch.clear()
+                    append = batch.append
+                    while queue and queue[0][0] == t:
+                        append(pop(queue))
+                    i = 0
+                    n = len(batch)
+                    while i < n:
+                        e = batch[i]
+                        if queue and queue[0] < e:
+                            # Return the undispatched tail to the heap and
+                            # let the outer loop re-establish order.
+                            while n > i:
+                                n -= 1
+                                push(queue, batch[n])
+                            break
+                        i += 1
+                        e[3](e[4])
+        except BaseException as exc:
+            # An exception mid-drain (a stop callback, a failed event) must
+            # not lose the undispatched tail: the heap has to stay resumable
+            # for a later run() call.
+            while n > i:
+                n -= 1
+                push(queue, batch[n])
+            batch.clear()
+            if isinstance(exc, StopSimulation):
+                return exc.args[0]
+            raise
+        batch.clear()
 
         if stop is not None and not stop.triggered:
             raise SimulationError("run(until=event) finished but the event never triggered")
@@ -282,9 +424,11 @@ class Environment:
             t._defused = False
             t._pooled = True
             t.delay = delay
+        seq = self._seq
+        self._seq = seq + 1
         _heappush(
             self._queue,
-            (self._now + delay, NORMAL, next(self._seq), _process_event, t),
+            (self.now + delay, NORMAL, seq, _process_event, t),
         )
         return t
 
@@ -301,4 +445,4 @@ class Environment:
         return AnyOf(self, events)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return f"<Environment now={self.now} queued={len(self._queue)}>"

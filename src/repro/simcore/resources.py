@@ -18,7 +18,7 @@ from __future__ import annotations
 from collections import deque
 from heapq import heappop, heappush
 from itertools import count
-from typing import TYPE_CHECKING, Any, Deque, List, Optional
+from typing import TYPE_CHECKING, Any, Deque, List
 
 from ..errors import SimulationError
 from .events import Event

@@ -9,8 +9,9 @@ A/B comparisons (SPDK vs NVMe-oPF) use identical device/workload randomness.
 
 from __future__ import annotations
 
+import math
 import zlib
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -56,6 +57,70 @@ class ScopedStreams(RandomStreams):
 
     def spawn(self, name: str) -> "ScopedStreams":
         return ScopedStreams(self._parent, f"{self._prefix}/{name}")
+
+
+class NormalBuffer:
+    """Array-prefetching draw buffer, stream-compatible with scalar draws.
+
+    Wraps a :class:`numpy.random.Generator` and serves scalar lognormal
+    draws out of a prefetched array of standard normals: one
+    ``standard_normal(batch)`` array call replaces ``batch`` scalar RNG
+    calls, which is where the per-command draw cost on the SSD controller
+    hot path goes.
+
+    **Bit-identity contract** (pinned by ``tests/test_ssd_array_rng.py``):
+    the *i*-th value returned by :meth:`lognormal` equals the *i*-th value
+    ``rng.lognormal(mean, sigma)`` would have returned from a fresh
+    generator with the same seed.  This holds because
+
+    * ``Generator.standard_normal(n)`` produces exactly the same ``n``
+      doubles as ``n`` scalar ``standard_normal()`` calls (the ziggurat
+      fill is sequential), and
+    * numpy computes a scalar lognormal as ``exp(loc + scale * z)`` in
+      C doubles with libm ``exp`` — the same operation, on the same IEEE
+      doubles, as :func:`math.exp` here.  (``np.exp`` on an *array* is
+      NOT bit-identical — its SIMD path rounds differently — which is why
+      the buffer stores raw normals and exponentiates per draw.)
+
+    The wrapped generator's *state* advances a whole batch at a time, so
+    the stream must be exclusive to this consumer (the controller owns
+    ``ssd/<name>``; the FTL draws from a separate ``ssd/<name>/ftl``
+    stream).  Mixing buffered and direct draws on one stream would
+    interleave wrongly.
+    """
+
+    __slots__ = ("_rng", "_batch", "_buf", "_pos", "_n")
+
+    def __init__(self, rng: np.random.Generator, batch: int = 256) -> None:
+        if batch < 1:
+            raise ValueError("batch must be >= 1")
+        self._rng = rng
+        self._batch = int(batch)
+        self._buf: List[float] = []
+        self._pos = 0
+        self._n = 0
+
+    def standard_normal(self) -> float:
+        """Next standard normal from the buffer (refilling by one array draw)."""
+        pos = self._pos
+        if pos >= self._n:
+            # tolist() converts the whole array to Python floats in C once,
+            # so the per-draw path below is pure-Python arithmetic.
+            self._buf = self._rng.standard_normal(self._batch).tolist()
+            self._n = self._batch
+            pos = 0
+        self._pos = pos + 1
+        return self._buf[pos]
+
+    def lognormal(self, mean: float = 0.0, sigma: float = 1.0, size: Optional[int] = None):
+        """Scalar-compatible ``Generator.lognormal`` over the buffer.
+
+        ``size=None`` is the hot path; an explicit ``size`` consumes that
+        many buffered draws (equivalent to ``size`` scalar calls).
+        """
+        if size is not None:
+            return np.array([self.lognormal(mean, sigma) for _ in range(size)])
+        return math.exp(mean + sigma * self.standard_normal())
 
 
 def lognormal_with_mean(

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 import numpy as np
 
 from ..errors import DeviceError
+from ..simcore.rng import NormalBuffer
 from .ftl import Ftl
 from .latency import OP_WRITE, SsdProfile
 from .queues import (
@@ -64,6 +65,12 @@ class NvmeController:
         self.env = env
         self.profile = profile
         self.rng = rng
+        #: Array-RNG wrapper: service-time draws come out of prefetched
+        #: ``standard_normal(batch)`` arrays, bit-identical to scalar draws
+        #: from ``rng`` (see :class:`NormalBuffer`).  The controller must be
+        #: the *only* consumer of ``rng`` — the device wiring gives it an
+        #: exclusive ``ssd/<name>`` stream.
+        self._draws = NormalBuffer(rng)
         self.ftl = ftl
         self.name = name
         self._qpairs: List[QueuePair] = []
@@ -73,6 +80,9 @@ class NvmeController:
         self._dispatch: Deque[Tuple[NvmeCommand, QueuePair]] = deque()
         self._dispatch_urgent: Deque[Tuple[NvmeCommand, QueuePair]] = deque()
         self._free_channels = profile.channels
+        #: Pre-bound completion callback (one heap entry per channel batch;
+        #: avoids a method-object allocation per command).
+        self._on_channel_done_cb = self._on_channel_done
         self.commands_completed = 0
         self.commands_failed = 0
         self.commands_faulted = 0
@@ -113,19 +123,25 @@ class NvmeController:
 
     def _arbitrate(self) -> None:
         """Round-robin fetch from non-empty SQs into the dispatch queue."""
-        n = len(self._qpairs)
+        qpairs = self._qpairs
+        n = len(qpairs)
         if n == 0:
             return
+        rr = self._rr_index
         empty_streak = 0
         while empty_streak < n:
-            qpair = self._qpairs[self._rr_index]
-            self._rr_index = (self._rr_index + 1) % n
-            if qpair.sq.is_empty:
+            qpair = qpairs[rr]
+            rr += 1
+            if rr == n:
+                rr = 0
+            sq = qpair.sq
+            if sq._head == sq._tail:  # inlined sq.is_empty (hot scan loop)
                 empty_streak += 1
                 continue
             empty_streak = 0
             queue = self._dispatch_urgent if qpair.urgent else self._dispatch
-            queue.append((qpair.sq.pop(), qpair))
+            queue.append((sq.pop(), qpair))
+        self._rr_index = rr
 
     def _fill_channels(self) -> None:
         while self._free_channels > 0 and (self._dispatch_urgent or self._dispatch):
@@ -146,7 +162,7 @@ class NvmeController:
             service = 1.0
         else:
             nbytes = command.nbytes(self.profile.block_size)
-            service = self.profile.service_time(self.rng, command.opcode, nbytes)
+            service = self.profile.service_time(self._draws, command.opcode, nbytes)
             if self.ftl is not None and command.opcode == OP_WRITE:
                 service += self.ftl.write_penalty(nbytes, service)
             if self.service_scale != 1.0:
@@ -155,7 +171,7 @@ class NvmeController:
 
         # Callback fast path: one tuple per channel completion instead of an
         # Event object; heap position matches the old Event-based scheduling.
-        self.env.call_later(service, self._on_channel_done, (command, qpair, status))
+        self.env.call_later(service, self._on_channel_done_cb, (command, qpair, status))
 
     def _on_channel_done(self, done: Tuple[NvmeCommand, QueuePair, int]) -> None:
         command, qpair, status = done

@@ -8,9 +8,7 @@ via the CQ post hook.
 from __future__ import annotations
 
 from itertools import count
-from typing import TYPE_CHECKING, Callable, Dict, Optional
-
-import numpy as np
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from ..errors import DeviceError
 from ..simcore.rng import RandomStreams
@@ -85,6 +83,31 @@ class IoQpair:
         self._outstanding[command.cid] = command
         self._qpair.sq.submit(command)
         return command
+
+    def submit_batch(
+        self, specs: "List[Tuple[str, int, int, int, object]]"
+    ) -> "List[NvmeCommand]":
+        """Submit a batch of ``(opcode, nsid, slba, nlb, context)`` specs.
+
+        Commands are built and validated in order, then placed in the SQ
+        with one doorbell for the whole batch (see
+        :meth:`SubmissionQueue.submit_batch`) — CID allocation, execution
+        order, and completion scheduling match a loop of :meth:`submit`
+        calls exactly.
+        """
+        commands: "List[NvmeCommand]" = []
+        for opcode, nsid, slba, nlb, context in specs:
+            ns = self.device.namespace(nsid)
+            if opcode != OP_FLUSH:
+                ns.check_range(slba, nlb)
+            command = NvmeCommand(
+                cid=self._next_cid(), opcode=opcode, nsid=nsid, slba=slba, nlb=nlb,
+                context=context,
+            )
+            self._outstanding[command.cid] = command
+            commands.append(command)
+        self._qpair.sq.submit_batch(commands)
+        return commands
 
     def read(self, nsid: int, slba: int, nlb: int, context: object = None) -> NvmeCommand:
         return self.submit(OP_READ, nsid=nsid, slba=slba, nlb=nlb, context=context)

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigError
-from ..simcore.rng import lognormal_with_mean
 from ..units import BLOCK_4K
 
 
@@ -27,6 +26,21 @@ OP_WRITE = "write"
 OP_FLUSH = "flush"
 
 VALID_OPS = (OP_READ, OP_WRITE, OP_FLUSH)
+
+
+def _lognorm_params(mean: float, cv: float):
+    """Precompute the (mu, sigma) of a lognormal with arithmetic mean
+    ``mean`` and coefficient of variation ``cv``; None for a degenerate cv.
+
+    Uses the same ``np.log``/``np.sqrt`` expressions as
+    :func:`repro.simcore.rng.lognormal_with_mean`, so a draw made with the
+    cached parameters is bit-identical to one that recomputes them.
+    """
+    if cv == 0:
+        return None
+    sigma2 = np.log(1.0 + cv * cv)
+    mu = np.log(mean) - sigma2 / 2.0
+    return float(mu), float(np.sqrt(sigma2))
 
 
 @dataclass(frozen=True)
@@ -70,6 +84,14 @@ class SsdProfile:
             raise ConfigError("block size unreasonably small")
         if self.capacity_bytes < self.block_size:
             raise ConfigError("capacity smaller than one block")
+        # Cached lognormal parameters for the per-command draw fast path
+        # (object.__setattr__: the dataclass is frozen, these are derived).
+        object.__setattr__(
+            self, "_read_lognorm", _lognorm_params(self.read_mean_us, self.read_cv)
+        )
+        object.__setattr__(
+            self, "_write_lognorm", _lognorm_params(self.write_mean_us, self.write_cv)
+        )
 
     @property
     def capacity_blocks(self) -> int:
@@ -83,19 +105,33 @@ class SsdProfile:
         """Theoretical 4K write IOPS ceiling."""
         return self.channels / self.write_mean_us * 1e6
 
-    def service_time(self, rng: np.random.Generator, opcode: str, nbytes: int) -> float:
-        """Sample one command's channel occupancy in microseconds."""
+    def service_time(self, rng, opcode: str, nbytes: int) -> float:
+        """Sample one command's channel occupancy in microseconds.
+
+        ``rng`` is anything with a ``Generator``-compatible ``lognormal``
+        method — a raw :class:`numpy.random.Generator` or the controller's
+        :class:`~repro.simcore.rng.NormalBuffer` array-draw wrapper (both
+        produce bit-identical draw sequences from the same seed).
+        """
         if opcode == OP_READ:
-            mean, cv = self.read_mean_us, self.read_cv
+            params = self._read_lognorm
+            mean = self.read_mean_us
         elif opcode == OP_WRITE:
-            mean, cv = self.write_mean_us, self.write_cv
+            params = self._write_lognorm
+            mean = self.write_mean_us
         elif opcode == OP_FLUSH:
             return self.flush_us
         else:
             raise ConfigError(f"unknown opcode {opcode!r}")
-        base = float(lognormal_with_mean(rng, mean, cv))
-        extra_blocks = max(0, (nbytes + self.block_size - 1) // self.block_size - 1)
-        return base + extra_blocks * self.extra_block_us
+        if params is None:
+            base = mean
+        else:
+            base = float(rng.lognormal(params[0], params[1]))
+        block_size = self.block_size
+        extra_blocks = (nbytes + block_size - 1) // block_size - 1
+        if extra_blocks > 0:
+            return base + extra_blocks * self.extra_block_us
+        return base
 
 
 #: CloudLab r6525 drive (1.6 TB, attached to the 100 Gbps nodes).  Slightly

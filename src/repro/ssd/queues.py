@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, List, Optional
 
 from ..errors import ConfigError, QueueEmptyError, QueueFullError
-from .latency import OP_FLUSH, OP_READ, OP_WRITE, VALID_OPS
+from .latency import OP_FLUSH, VALID_OPS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..simcore.engine import Environment
@@ -128,6 +128,27 @@ class SubmissionQueue:
         self._tail = (self._tail + 1) % self.depth
         self.submitted_total += 1
         if self.doorbell is not None:
+            self.doorbell()
+
+    def submit_batch(self, commands: List[NvmeCommand]) -> None:
+        """Place a batch of commands in the ring, ringing the doorbell once.
+
+        Equivalent to submitting each command in order, except the doorbell
+        rings a single time after the last one — the controller's round-robin
+        arbitration then fetches the whole run in the same submission order
+        it would have fetched them one doorbell at a time, so execution
+        order, RNG draw order, and completion scheduling are unchanged.  The
+        batch accumulates in the ring before the controller drains it, so
+        callers must keep batches smaller than the queue depth.
+        """
+        for command in commands:
+            if self.is_full:
+                raise QueueFullError(f"SQ {self.qid} full (depth {self.depth})")
+            command.submitted_at = self.env.now
+            self._ring[self._tail] = command
+            self._tail = (self._tail + 1) % self.depth
+            self.submitted_total += 1
+        if commands and self.doorbell is not None:
             self.doorbell()
 
     def pop(self) -> NvmeCommand:

@@ -16,7 +16,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Generator, List, Optional
 
-from ..core.flags import Priority
 from ..errors import WorkloadError
 from ..hdf5sim.file import H5File
 from ..hdf5sim.mpi import Communicator, SimRank

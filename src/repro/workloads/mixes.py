@@ -8,7 +8,7 @@ string into concrete tenant specs for the scenario builder.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from ..core.flags import Priority

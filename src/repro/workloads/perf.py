@@ -145,20 +145,29 @@ class PerfGenerator:
 
     def _pump(self) -> None:
         cfg = self.config
+        total_ops = cfg.total_ops
+        depth = cfg.queue_depth
+        initiator = self.initiator
+        qpair = initiator.qpair
+        # ``issued`` is only ever advanced here (completions arrive via
+        # events, never synchronously from submit), so it can ride in a
+        # local across the loop.
+        issued = self.issued
         while (
             not self._stopped
-            and self.issued < cfg.total_ops
-            and self.inflight < cfg.queue_depth
-            and self.initiator.qpair.has_capacity
+            and issued < total_ops
+            and issued - self.completed < depth
+            and qpair.has_capacity
         ):
-            self.initiator.submit(
+            initiator.submit(
                 self._choose_op(),
                 slba=self.pattern.next_slba(),
                 nlb=self.blocks_per_io,
                 nsid=cfg.nsid,
                 priority=cfg.priority,
             )
-            self.issued += 1
+            issued += 1
+            self.issued = issued
         if self.issued >= cfg.total_ops and not self._drained_tail:
             # The final partial window would otherwise wait for the idle
             # timer; drain it explicitly so runs end crisply.  drain() can

@@ -24,8 +24,7 @@ from ..core.flags import Priority
 from ..core.initiator import OpfInitiator
 from ..errors import WorkloadError
 from ..simcore.events import Event
-from ..ssd.latency import OP_FLUSH, OP_READ, OP_WRITE
-from ..units import BLOCK_4K
+from ..ssd.latency import OP_READ, OP_WRITE
 from .patterns import AddressPattern, SEQUENTIAL
 
 if TYPE_CHECKING:  # pragma: no cover - typing only

@@ -12,7 +12,6 @@ from repro.cluster import (
     sweep,
     tenants_for_node,
 )
-from repro.core.flags import Priority
 from repro.errors import ConfigError
 
 

@@ -1,6 +1,5 @@
 """Tests for the extensions: urgent device qpairs + device-priority target."""
 
-import pytest
 
 from repro.cluster import Scenario, ScenarioConfig
 from repro.core import DevicePriorityOpfTarget

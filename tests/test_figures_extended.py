@@ -1,6 +1,5 @@
 """Extended smoke/format tests for the figure harnesses and flush path."""
 
-import pytest
 
 from repro.cluster.node import InitiatorNode, TargetNode
 from repro.net import Fabric

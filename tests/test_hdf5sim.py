@@ -105,7 +105,7 @@ def test_barrier_releases_all_ranks_together():
         yield rank_obj.comm.barrier()
         times.append((rank_obj.rank, rank_obj.env.now))
 
-    ranks = [SimRank(env, i, comm, body) for i in range(3)]
+    _ranks = [SimRank(env, i, comm, body) for i in range(3)]
     env.run()
     assert all(t == 20.0 for _, t in times)  # all released at the last arrival
 

@@ -1,6 +1,5 @@
 """White-box tests of TCP-lite congestion control internals."""
 
-import pytest
 
 from repro.net import Fabric, TcpConfig
 from repro.simcore import Environment

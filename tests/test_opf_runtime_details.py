@@ -5,11 +5,10 @@ import pytest
 
 from repro.cluster import Scenario, ScenarioConfig
 from repro.cluster.node import InitiatorNode, TargetNode
-from repro.core import DevicePriorityOpfTarget, Priority
-from repro.errors import ConfigError
+from repro.core import DevicePriorityOpfTarget
 from repro.net import Fabric
 from repro.simcore import Environment, RandomStreams
-from repro.workloads import TenantSpec, tenants_for_ratio
+from repro.workloads import tenants_for_ratio
 
 
 def make_rig(protocol="nvme-opf", queue_depth=64, **init_kwargs):

@@ -3,9 +3,8 @@
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-import pytest
 
-from repro.core import CidQueue, DrainGroup, Priority, pack_flags, unpack_flags
+from repro.core import CidQueue, DrainGroup, pack_flags, unpack_flags
 from repro.errors import ProtocolError
 from repro.metrics.percentile import P2Quantile, exact_percentile
 from repro.nvmeof.capsule import Cqe, OPCODE_FLUSH, OPCODE_READ, OPCODE_WRITE, Sqe

@@ -16,12 +16,7 @@ from repro.core.flags import Priority
 from repro.errors import ConfigError
 from repro.experiments import run_qos_aimd, run_qos_guard
 from repro.metrics.percentile import P2Quantile, exact_percentile
-from repro.qos.controller import (
-    DEFAULT_INTERVAL_US,
-    QosController,
-    TenantHandle,
-    WARMUP_OPS,
-)
+from repro.qos.controller import QosController, TenantHandle, WARMUP_OPS
 from repro.qos.policy import (
     ACTION_RATE,
     ACTION_WINDOW,
@@ -33,7 +28,7 @@ from repro.qos.policy import (
     TenantView,
     make_policy,
 )
-from repro.qos.report import ControllerAction, QosReport, SloTrack
+from repro.qos.report import QosReport, SloTrack
 from repro.qos.slo import KIND_LATENCY, KIND_MIXED, KIND_THROUGHPUT, SloSet, TenantSlo
 from repro.qos.telemetry import (
     Ewma,
@@ -42,9 +37,8 @@ from repro.qos.telemetry import (
     TelemetryHub,
     TenantTelemetry,
 )
-from repro.qos.throttle import DEFAULT_BURST_BYTES, TokenBucket
+from repro.qos.throttle import TokenBucket
 from repro.simcore.engine import Environment
-from repro.workloads.mixes import TenantSpec
 from tests.conftest import build_fig7_cell
 
 
@@ -716,11 +710,11 @@ class TestDigestRules:
             slos=[TenantSlo("ls0", p99_ceiling_us=50_000.0)]
         )
         digest = monitored.metrics_digest()
-        qos_lines = [l for l in digest.splitlines() if l.startswith("qos/")]
+        qos_lines = [line for line in digest.splitlines() if line.startswith("qos/")]
         # A huge ceiling is never violated and static never acts: only the
         # tick counter is nonzero, so only the tick counter appears.
         assert qos_lines == [f"qos/ticks={monitored.qos_report.ticks!r}"]
-        base = "\n".join(l for l in digest.splitlines() if not l.startswith("qos/"))
+        base = "\n".join(line for line in digest.splitlines() if not line.startswith("qos/"))
         # The monitoring plane observes without perturbing: stripping its
         # lines recovers the uninstrumented digest bit-for-bit.
         assert base == plain.metrics_digest()
@@ -732,9 +726,9 @@ class TestDigestRules:
             slos=[TenantSlo("ls0", p99_ceiling_us=100.0)], total_ops=1_500
         )
         digest = tight.metrics_digest()
-        assert any(l.startswith("qos/violated_us/ls0=") for l in digest.splitlines())
+        assert any(line.startswith("qos/violated_us/ls0=") for line in digest.splitlines())
         assert any(
-            l.startswith("qos/violation_intervals/ls0=") for l in digest.splitlines()
+            line.startswith("qos/violation_intervals/ls0=") for line in digest.splitlines()
         )
 
 

@@ -42,7 +42,6 @@ from repro.scenarios.library import (
     qos_guard_program,
     register_library_programs,
 )
-from tests.conftest import build_fig7_cell
 from tests.test_golden_regression import GOLDEN_OPF_DIGEST_SHA256
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simcore import Environment, Event, Interrupt, Timeout
+from repro.simcore import Environment, Interrupt
 
 
 def test_clock_starts_at_initial_time():

@@ -106,7 +106,7 @@ def test_streams_are_independent():
 
 def test_scoped_streams_prefix():
     streams = RandomStreams(9)
-    scoped = streams.spawn("ssd0")
+    streams.spawn("ssd0")
     direct = streams.stream("ssd0/read").random(3).tolist()
     # Fresh factory, same seed: the scoped path must match the full name.
     streams2 = RandomStreams(9)

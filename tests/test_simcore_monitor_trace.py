@@ -1,0 +1,211 @@
+"""Coverage for ``simcore/monitor.py`` and ``simcore/trace.py``.
+
+Pins the contracts the hot paths rely on: the Tracer's enabled/disabled
+pre-check and exactly-once lazy-thunk evaluation (single and batched), the
+per-record limit across ``emit``/``emit_many``, sink fan-out ordering, and
+the Sampler's cadence/stop/aggregation behaviour.
+"""
+
+import pytest
+
+from repro.simcore import Environment
+from repro.simcore.monitor import Sampler
+from repro.simcore.trace import NULL_TRACER, TraceRecord, Tracer
+
+
+# ---------------------------------------------------------------------------
+# Tracer: enabled/disabled pre-check
+# ---------------------------------------------------------------------------
+
+
+def test_disabled_tracer_records_nothing():
+    t = Tracer(enabled=False)
+    t.emit(0.0, "s", "k", "payload")
+    t.emit_many(0.0, "s", "k", ["p1", "p2"])
+    assert t.records == []
+
+
+def test_null_tracer_is_disabled():
+    assert NULL_TRACER.enabled is False
+    NULL_TRACER.emit(0.0, "s", "k", "x")
+    assert NULL_TRACER.records == []
+
+
+def test_enabled_tracer_records_in_order():
+    t = Tracer(enabled=True)
+    t.emit(1.0, "src", "a", 1)
+    t.emit(2.0, "src", "b", 2)
+    assert [(r.time, r.kind, r.payload) for r in t.records] == [
+        (1.0, "a", 1),
+        (2.0, "b", 2),
+    ]
+
+
+def test_emit_respects_limit():
+    t = Tracer(enabled=True, limit=2)
+    for i in range(5):
+        t.emit(float(i), "s", "k", i)
+    assert [r.payload for r in t.records] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# Tracer: lazy-thunk payloads evaluate exactly once, only when kept
+# ---------------------------------------------------------------------------
+
+
+def test_lazy_thunk_evaluates_exactly_once_when_kept():
+    calls = []
+
+    def thunk():
+        calls.append(1)
+        return "built"
+
+    t = Tracer(enabled=True)
+    t.emit(0.0, "s", "k", thunk)
+    assert calls == [1]
+    assert t.records[0].payload == "built"
+
+
+def test_lazy_thunk_not_evaluated_when_disabled_or_past_limit():
+    calls = []
+    t = Tracer(enabled=False)
+    t.emit(0.0, "s", "k", lambda: calls.append("off"))
+    t = Tracer(enabled=True, limit=1)
+    t.emit(0.0, "s", "k", lambda: calls.append("kept") or "p")
+    t.emit(1.0, "s", "k", lambda: calls.append("dropped"))
+    assert calls == ["kept"]
+
+
+# ---------------------------------------------------------------------------
+# Tracer: batched emit_many
+# ---------------------------------------------------------------------------
+
+
+def test_emit_many_equals_emit_loop():
+    loop = Tracer(enabled=True)
+    for p in ("a", "b", "c"):
+        loop.emit(3.0, "src", "kind", p)
+    batched = Tracer(enabled=True)
+    batched.emit_many(3.0, "src", "kind", ["a", "b", "c"])
+    assert batched.records == loop.records
+
+
+def test_emit_many_lazy_thunks_exactly_once_in_order():
+    calls = []
+
+    def make(tag):
+        def thunk():
+            calls.append(tag)
+            return tag
+
+        return thunk
+
+    t = Tracer(enabled=True)
+    t.emit_many(0.0, "s", "k", [make("p0"), make("p1"), make("p2")])
+    assert calls == ["p0", "p1", "p2"]
+    assert [r.payload for r in t.records] == ["p0", "p1", "p2"]
+
+
+def test_emit_many_stops_at_limit_mid_batch_without_evaluating_rest():
+    calls = []
+
+    def make(tag):
+        def thunk():
+            calls.append(tag)
+            return tag
+
+        return thunk
+
+    t = Tracer(enabled=True, limit=2)
+    t.emit_many(0.0, "s", "k", [make("a"), make("b"), make("c"), make("d")])
+    assert [r.payload for r in t.records] == ["a", "b"]
+    assert calls == ["a", "b"]  # thunks past the limit never ran
+
+
+def test_emit_many_empty_batch_is_noop():
+    t = Tracer(enabled=True)
+    t.emit_many(0.0, "s", "k", [])
+    assert t.records == []
+
+
+def test_emit_many_feeds_sinks_per_record_in_order():
+    seen = []
+    t = Tracer(enabled=True)
+    t.add_sink(lambda r: seen.append(("s1", r.payload)))
+    t.add_sink(lambda r: seen.append(("s2", r.payload)))
+    t.emit_many(0.0, "s", "k", ["x", "y"])
+    assert seen == [("s1", "x"), ("s2", "x"), ("s1", "y"), ("s2", "y")]
+
+
+# ---------------------------------------------------------------------------
+# Tracer: filtering, counting, clearing
+# ---------------------------------------------------------------------------
+
+
+def test_filter_and_count_by_source_and_kind():
+    t = Tracer(enabled=True)
+    t.emit(0.0, "link", "drop", 1)
+    t.emit(1.0, "link", "send", 2)
+    t.emit(2.0, "nic", "drop", 3)
+    assert [r.payload for r in t.filter(source="link")] == [1, 2]
+    assert [r.payload for r in t.filter(kind="drop")] == [1, 3]
+    assert [r.payload for r in t.filter(source="link", kind="drop")] == [1]
+    assert t.count(kind="drop") == 2
+    assert t.count() == 3
+    t.clear()
+    assert t.records == [] and t.count() == 0
+
+
+def test_trace_record_is_frozen():
+    r = TraceRecord(1.0, "s", "k", "p")
+    with pytest.raises(AttributeError):
+        r.time = 2.0
+
+
+# ---------------------------------------------------------------------------
+# Sampler
+# ---------------------------------------------------------------------------
+
+
+def test_sampler_rejects_nonpositive_interval():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Sampler(env, lambda: 0, interval=0.0)
+    with pytest.raises(ValueError):
+        Sampler(env, lambda: 0, interval=-1.0)
+
+
+def test_sampler_records_probe_at_fixed_cadence():
+    env = Environment()
+    clock = []
+    s = Sampler(env, lambda: len(clock), interval=10.0, name="probe")
+    env.call_later(5.0, lambda _: clock.append(1), None)
+    env.call_later(15.0, lambda _: clock.append(1), None)
+    env.run(until=35.0)
+    assert s.times == [0.0, 10.0, 20.0, 30.0]
+    assert s.values == [0, 1, 2, 2]
+
+
+def test_sampler_stop_is_idempotent_and_halts_sampling():
+    env = Environment()
+    s = Sampler(env, lambda: 1, interval=1.0)
+    env.run(until=3.5)
+    assert len(s.samples) == 4  # t=0,1,2,3
+    s.stop()
+    s.stop()  # safe to call twice
+    env.run(until=10.0)
+    assert len(s.samples) == 4  # no further samples after stop
+
+
+def test_sampler_mean_over_numeric_samples():
+    env = Environment()
+    values = iter([1.0, 2.0, 3.0, 4.0])
+    s = Sampler(env, lambda: next(values), interval=1.0)
+    env.run(until=3.5)
+    assert s.mean() == pytest.approx(2.5)
+
+
+def test_sampler_mean_empty_is_zero():
+    env = Environment()
+    s = Sampler(env, lambda: 1.0, interval=1.0)
+    assert s.mean() == 0.0  # nothing sampled before the run starts

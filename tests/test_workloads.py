@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import Priority
 from repro.errors import WorkloadError
-from repro.simcore import Environment, RandomStreams
+from repro.simcore import RandomStreams
 from repro.workloads import (
     AddressPattern,
     PAPER_RATIOS,
