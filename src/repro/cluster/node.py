@@ -127,6 +127,8 @@ class InitiatorNode:
         retry_policy=None,
         recovery_rng=None,
         events=None,
+        conn_id: Optional[int] = None,
+        connector=None,
         **opf_kwargs,
     ) -> NvmeOfInitiator:
         """Create one tenant connected to ``target_node``.
@@ -135,6 +137,13 @@ class InitiatorNode:
         is a distinct tenant at the target, as in the paper's experiments.
         ``transport`` selects the fabric binding: ``"tcp"`` (the paper's
         evaluation) or ``"rdma"`` (RoCE-style lossless QPs).
+
+        ``conn_id`` pins the TCP connection id (sharded runs replicate the
+        serial numbering).  ``connector``, when given, replaces the fabric
+        socket-pair wiring entirely: it is called as
+        ``connector(initiator_node, target_node, conn_id, tenant_name)`` and
+        must return the initiator-side socket — the target side is assumed
+        to live in another shard and is *not* accepted locally.
         """
         if protocol not in PROTOCOLS:
             raise ConfigError(f"unknown protocol {protocol!r}; choose from {PROTOCOLS}")
@@ -178,12 +187,17 @@ class InitiatorNode:
             sock_i, sock_t = self.fabric.connect_rdma(
                 self.name, target_node.name, name=tenant_name
             )
+            initiator.attach(PduTransport(sock_i, validate=validate_pdus))
+            target_node.accept(PduTransport(sock_t, validate=validate_pdus))
+        elif connector is not None:
+            sock_i = connector(self.name, target_node.name, conn_id, tenant_name)
+            initiator.attach(PduTransport(sock_i, validate=validate_pdus))
         else:
             sock_i, sock_t = self.fabric.connect(
-                self.name, target_node.name, name=tenant_name
+                self.name, target_node.name, name=tenant_name, conn_id=conn_id
             )
-        initiator.attach(PduTransport(sock_i, validate=validate_pdus))
-        target_node.accept(PduTransport(sock_t, validate=validate_pdus))
+            initiator.attach(PduTransport(sock_i, validate=validate_pdus))
+            target_node.accept(PduTransport(sock_t, validate=validate_pdus))
         self.initiators.append(initiator)
         return initiator
 

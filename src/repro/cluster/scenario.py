@@ -307,6 +307,125 @@ class ScenarioResult:
         return "\n".join(lines)
 
 
+@dataclass
+class _Prepared:
+    """Live handles produced by :meth:`Scenario._prepare` and consumed by
+    the run-lifecycle stages (serial ``run()`` and the sharded workers)."""
+
+    connect_events: List[object]
+    start_delays: List[float]
+    tc_generators: List[PerfGenerator]
+    ls_generators: List[PerfGenerator]
+
+
+@dataclass
+class ResultAggregates:
+    """Plain-data counters gathered from live components after the drain.
+
+    Everything :func:`assemble_result` needs besides the collector — kept
+    picklable so sharded workers can ship their slice across a process
+    boundary and the coordinator can sum slices field-wise (every field is
+    an order-insensitive int sum, a max over floats, or per-component data
+    concatenated in global declaration order).
+    """
+
+    completion_notifications: int = 0
+    coalesced_notifications: int = 0
+    data_pdus_sent: int = 0
+    commands_received: int = 0
+    tenant_switches: int = 0
+    tcp_retransmits: int = 0
+    goodput_ops: int = 0
+    failed_ops: int = 0
+    recovery: Dict[str, int] = field(default_factory=dict)
+    opf: Dict[str, int] = field(default_factory=dict)
+    #: Per-target-core ``(busy_time, started_at)`` in declaration order; the
+    #: utilization division happens in :func:`assemble_result` against the
+    #: global final clock (shard-local clocks end early).
+    cores: List[Tuple[float, float]] = field(default_factory=list)
+    fabric_drops: int = 0
+    tc_names: List[str] = field(default_factory=list)
+    fault_events: Dict[str, int] = field(default_factory=dict)
+    fault_trace: str = ""
+
+
+def _core_utilization(busy_time: float, started_at: float, at: float) -> float:
+    """Mirror of :meth:`repro.cpu.core.CpuCore.utilization` on plain data.
+
+    Same expression and operand order, so a merged shard result reproduces
+    the serial float bit-for-bit.
+    """
+    elapsed = at - started_at
+    if elapsed <= 0:
+        return 0.0
+    return min(1.0, busy_time / elapsed)
+
+
+def assemble_result(
+    config: ScenarioConfig,
+    collector: Collector,
+    agg: ResultAggregates,
+    final_time: float,
+    qos_digest: Optional[Dict[str, object]] = None,
+    qos_report: Optional[QosReport] = None,
+) -> ScenarioResult:
+    """Compute a :class:`ScenarioResult` from a collector + gathered counters.
+
+    The single result-assembly path: the serial run and the sharded merge
+    both call this, so every floating-point reduction (per-tenant means,
+    pooled percentiles, aggregate rates) runs in exactly one code shape —
+    identical inputs produce bit-identical results regardless of how the
+    simulation was executed.
+    """
+    elapsed = collector.elapsed_us()
+
+    ls_pool = collector.combined_latency(Priority.LATENCY)
+    all_pool = collector.combined_latency(None)
+    per_tenant: Dict[str, Tuple[float, float]] = {}
+    for name, summary in collector.summaries().items():
+        mean = summary.latency.mean() if len(summary.latency) else float("nan")
+        per_tenant[name] = (summary.throughput_mbps(elapsed), mean)
+
+    util = (
+        max(_core_utilization(busy, started, final_time) for busy, started in agg.cores)
+        if agg.cores
+        else 0.0
+    )
+    tc_shares = [per_tenant[name][0] for name in agg.tc_names if name in per_tenant]
+    fairness = jain_fairness(tc_shares) if len(tc_shares) >= 2 else None
+
+    return ScenarioResult(
+        protocol=config.protocol,
+        network_gbps=config.network_gbps,
+        op_mix=config.op_mix,
+        elapsed_us=elapsed,
+        tc_throughput_mbps=collector.aggregate_throughput_mbps(Priority.THROUGHPUT),
+        tc_iops=collector.aggregate_iops(Priority.THROUGHPUT),
+        ls_tail_us=ls_pool.tail() if len(ls_pool) else None,
+        ls_mean_us=ls_pool.mean() if len(ls_pool) else None,
+        mean_latency_us=all_pool.mean() if len(all_pool) else None,
+        total_throughput_mbps=collector.aggregate_throughput_mbps(None),
+        completion_notifications=agg.completion_notifications,
+        coalesced_notifications=agg.coalesced_notifications,
+        data_pdus_sent=agg.data_pdus_sent,
+        commands_received=agg.commands_received,
+        fabric_drops=agg.fabric_drops,
+        tcp_retransmits=agg.tcp_retransmits,
+        tenant_switches=agg.tenant_switches,
+        target_cpu_utilization=util,
+        per_tenant=per_tenant,
+        goodput_ops=agg.goodput_ops,
+        failed_ops=agg.failed_ops,
+        recovery=agg.recovery,
+        opf=agg.opf,
+        fairness_index=fairness,
+        qos=qos_digest if qos_digest is not None else {},
+        qos_report=qos_report,
+        fault_events=agg.fault_events,
+        fault_trace=agg.fault_trace,
+    )
+
+
 class Scenario:
     """Builder + runner for one simulated experiment."""
 
@@ -348,6 +467,19 @@ class Scenario:
         #: order (scenario-program actuator lookups).
         self.generators_by_name: Dict[str, PerfGenerator] = {}
         self.initiators_by_name: Dict[str, object] = {}
+        #: Sharded-execution overrides (see ``repro.parallel.shards``):
+        #: explicit tenant ids / TCP connection ids keyed by tenant name so a
+        #: shard replays the serial run's global assignment order, and an
+        #: optional connector that builds only the initiator-side socket
+        #: (the target end lives in another shard).  Empty/None = the serial
+        #: defaults; behaviour is bit-identical.
+        self._tenant_ids: Dict[str, int] = {}
+        self._conn_id_overrides: Dict[str, int] = {}
+        self._tenant_connector: Optional[Callable] = None
+        #: Injector constructor override (sharded runs substitute a subclass
+        #: that replays the full schedule chain but applies only shard-local
+        #: faults).  None = the plain Injector.
+        self._injector_factory: Optional[Callable] = None
         self._ran = False
 
     # -- construction ----------------------------------------------------------------
@@ -381,11 +513,23 @@ class Scenario:
         initiator_node: InitiatorNode,
         target_node: TargetNode,
         nsid: int = 1,
+        tenant_id: Optional[int] = None,
+        conn_id: Optional[int] = None,
     ) -> None:
-        """Declare one tenant; instantiated (with workload) at run()."""
+        """Declare one tenant; instantiated (with workload) at run().
+
+        ``tenant_id`` / ``conn_id`` pin the fabric-wide identifiers that
+        would otherwise come from running counters in declaration order.
+        Shard builders pass the *global* assignment indices so a partial
+        (per-shard) build hands out exactly the ids the serial run would.
+        """
         if any(s.name == spec.name for s, _i, _t, _n in self._tenant_assignments):
             raise ConfigError(f"duplicate tenant name {spec.name!r}")
         self._tenant_assignments.append((spec, initiator_node, target_node, nsid))
+        if tenant_id is not None:
+            self._tenant_ids[spec.name] = tenant_id
+        if conn_id is not None:
+            self._conn_id_overrides[spec.name] = conn_id
 
     def at_workload_time(self, delay_us: float, fn: Callable[[], None]) -> None:
         """Schedule ``fn()`` at ``delay_us`` after the workload starts.
@@ -425,6 +569,57 @@ class Scenario:
 
     # -- execution -----------------------------------------------------------------------
     def run(self) -> ScenarioResult:
+        prep = self._prepare()
+        env = self.env
+        cfg = self.config
+
+        # Handshakes first, then workloads, then the measurement window.
+        env.run(until=env.all_of(prep.connect_events))
+        workload_start = env.now
+        self._launch_workload(prep)
+
+        marker_armed = [True]
+
+        def warmup_marker(env):
+            yield env.timeout(cfg.warmup_us)
+            if marker_armed[0]:
+                self.collector.start_measuring()
+
+        env.process(warmup_marker(env))
+
+        if prep.tc_generators:
+            env.run(until=env.all_of([g.done for g in prep.tc_generators]))
+        else:  # LS-only scenario: the LS quota bounds the run
+            env.run(until=env.all_of([g.done for g in prep.ls_generators]))
+        # Disarm the marker: if the whole run fit inside the warmup it must
+        # not clobber the window during the quiesce phase below.
+        marker_armed[0] = False
+        self.collector.stop_measuring()
+        # Guard against degenerate measurement windows.  Coalesced
+        # completions land in window-sized bursts, so a window that covers
+        # only a sliver of the run (warmup ~ run length) would measure one
+        # burst and report a nonsense rate.  Fall back to the full workload
+        # interval when the warmup consumed most of the run.
+        workload_duration = env.now - workload_start
+        if self.collector.elapsed_us() < 0.3 * workload_duration:
+            self.collector.set_window(workload_start, env.now)
+        self.collector.ensure_window(fallback_start=workload_start)
+
+        # Quiesce: stop open-ended tenants and let in-flight work land.
+        self._quiesce(prep)
+        env.run()
+        return self._build_result()
+
+    def _prepare(self) -> "_Prepared":
+        """Build every live component up to (but excluding) the handshakes.
+
+        Shared by the serial ``run()`` path and the sharded workers: all
+        construction-order-sensitive allocation (tenant ids, connection ids,
+        RNG stream derivation, event sequence numbers) happens here in
+        declaration order, so a per-shard build that pins the global ids via
+        ``add_tenant(..., tenant_id=, conn_id=)`` replays the serial
+        trajectory for its components exactly.
+        """
         if self._ran:
             raise ConfigError("a Scenario can only run once; build a fresh one")
         self._ran = True
@@ -459,6 +654,9 @@ class Scenario:
                 tnode,
                 protocol=cfg.protocol,
                 queue_depth=spec.queue_depth,
+                tenant_id=self._tenant_ids.get(spec.name),
+                conn_id=self._conn_id_overrides.get(spec.name),
+                connector=self._tenant_connector,
                 costs=cfg.effective_costs(),
                 collector=self.collector,
                 window_size=cfg.window_size,
@@ -536,14 +734,26 @@ class Scenario:
                 interval_us=cfg.qos_interval_us,
             )
 
-        # Handshakes first, then workloads, then the measurement window.
-        env.run(until=env.all_of(connect_events))
-        workload_start = env.now
+        return _Prepared(
+            connect_events=connect_events,
+            start_delays=start_delays,
+            tc_generators=tc_generators,
+            ls_generators=ls_generators,
+        )
+
+    def _launch_workload(self, prep: "_Prepared") -> None:
+        """Arm everything that starts at workload onset (``env.now`` = the
+        handshake-complete anchor).  Sharded workers call this after
+        advancing their clock to the *global* anchor H*, so the engine
+        allocations here happen at the same simulated time — and therefore
+        the same relative order — as the serial run."""
+        cfg = self.config
+        env = self.env
         if self.injector is not None and cfg.chaos_epoch == "workload":
             self.injector.start()
         if self.qos_controller is not None:
             self.qos_controller.start()
-        for gen, delay in zip(self.generators, start_delays):
+        for gen, delay in zip(self.generators, prep.start_delays):
             if delay > 0.0:
                 # Staged arrival (e.g. a mid-run TC burst): the generator's
                 # done event exists from construction, so quota accounting
@@ -556,43 +766,15 @@ class Scenario:
         for delay, fn in self._scripted:
             env.call_later(delay, _invoke_scripted, fn)
 
-        marker_armed = [True]
-
-        def warmup_marker(env):
-            yield env.timeout(cfg.warmup_us)
-            if marker_armed[0]:
-                self.collector.start_measuring()
-
-        env.process(warmup_marker(env))
-
-        if tc_generators:
-            env.run(until=env.all_of([g.done for g in tc_generators]))
-        else:  # LS-only scenario: the LS quota bounds the run
-            env.run(until=env.all_of([g.done for g in ls_generators]))
-        # Disarm the marker: if the whole run fit inside the warmup it must
-        # not clobber the window during the quiesce phase below.
-        marker_armed[0] = False
-        self.collector.stop_measuring()
-        # Guard against degenerate measurement windows.  Coalesced
-        # completions land in window-sized bursts, so a window that covers
-        # only a sliver of the run (warmup ~ run length) would measure one
-        # burst and report a nonsense rate.  Fall back to the full workload
-        # interval when the warmup consumed most of the run.
-        workload_duration = env.now - workload_start
-        if self.collector.elapsed_us() < 0.3 * workload_duration:
-            self.collector.set_window(workload_start, env.now)
-        self.collector.ensure_window(fallback_start=workload_start)
-
-        # Quiesce: stop open-ended tenants and let in-flight work land.  The
-        # controller stops first — a still-armed tick would reschedule itself
-        # forever and the drain below would never run dry.
+    def _quiesce(self, prep: "_Prepared") -> None:
+        """Stop open-ended tenants so the final drain runs dry.  The
+        controller stops first — a still-armed tick would reschedule itself
+        forever and the drain would never finish."""
         if self.qos_controller is not None:
             self.qos_controller.stop()
-        if tc_generators:
-            for gen in ls_generators:
+        if prep.tc_generators:
+            for gen in prep.ls_generators:
                 gen.stop()
-        env.run()
-        return self._build_result()
 
     # -- chaos wiring ----------------------------------------------------------------------
     def _build_injector(self, schedule: "FaultSchedule") -> "Injector":
@@ -622,7 +804,8 @@ class Scenario:
         for inode in self.initiator_nodes.values():
             for initiator in inode.initiators:
                 registry.add("initiator", initiator.name, initiator)
-        return Injector(
+        factory = self._injector_factory if self._injector_factory is not None else Injector
+        return factory(
             self.env,
             schedule,
             registry,
@@ -631,18 +814,15 @@ class Scenario:
         )
 
     # -- result assembly -------------------------------------------------------------------
-    def _build_result(self) -> ScenarioResult:
-        cfg = self.config
-        collector = self.collector
-        elapsed = collector.elapsed_us()
+    def _gather_aggregates(self) -> ResultAggregates:
+        """Read every live-component counter into plain data.
 
-        ls_pool = collector.combined_latency(Priority.LATENCY)
-        all_pool = collector.combined_latency(None)
-        per_tenant: Dict[str, Tuple[float, float]] = {}
-        for name, summary in collector.summaries().items():
-            mean = summary.latency.mean() if len(summary.latency) else float("nan")
-            per_tenant[name] = (summary.throughput_mbps(elapsed), mean)
-
+        Sharded workers call this on their slice of the scenario; the
+        coordinator sums slices field-wise.  Every value here is an integer
+        count, a per-core pair, or a canonical string — nothing order- or
+        float-sensitive (the float reductions all live in
+        :func:`assemble_result`).
+        """
         completion_notifications = sum(t.target.stats.completion_notifications for t in self.target_nodes)
         coalesced = sum(t.target.stats.coalesced_notifications for t in self.target_nodes)
         data_pdus = sum(t.target.stats.data_pdus_sent for t in self.target_nodes)
@@ -683,52 +863,43 @@ class Scenario:
                     opf.get("orphans_completed", 0) + tpm.orphans_completed
                 )
                 opf["orphans_requeued"] = opf.get("orphans_requeued", 0) + tpm.orphans_requeued
-        util = (
-            max(t.core.utilization() for t in self.target_nodes) if self.target_nodes else 0.0
-        )
         tc_names = [
             spec.name
             for spec, _inode, _tnode, _nsid in self._tenant_assignments
             if spec.priority is Priority.THROUGHPUT
         ]
-        tc_shares = [per_tenant[name][0] for name in tc_names if name in per_tenant]
-        fairness = jain_fairness(tc_shares) if len(tc_shares) >= 2 else None
-
-        return ScenarioResult(
-            protocol=cfg.protocol,
-            network_gbps=cfg.network_gbps,
-            op_mix=cfg.op_mix,
-            elapsed_us=elapsed,
-            tc_throughput_mbps=collector.aggregate_throughput_mbps(Priority.THROUGHPUT),
-            tc_iops=collector.aggregate_iops(Priority.THROUGHPUT),
-            ls_tail_us=ls_pool.tail() if len(ls_pool) else None,
-            ls_mean_us=ls_pool.mean() if len(ls_pool) else None,
-            mean_latency_us=all_pool.mean() if len(all_pool) else None,
-            total_throughput_mbps=collector.aggregate_throughput_mbps(None),
+        return ResultAggregates(
             completion_notifications=completion_notifications,
             coalesced_notifications=coalesced,
             data_pdus_sent=data_pdus,
             commands_received=commands,
-            fabric_drops=self.fabric.total_drops(),
-            tcp_retransmits=retransmits,
             tenant_switches=switches,
-            target_cpu_utilization=util,
-            per_tenant=per_tenant,
+            tcp_retransmits=retransmits,
             goodput_ops=goodput_ops,
             failed_ops=failed_ops,
             recovery=recovery,
             opf=opf,
-            fairness_index=fairness,
-            qos=(
+            cores=[(t.core._busy_time, t.core._started_at) for t in self.target_nodes],
+            fabric_drops=self.fabric.total_drops(),
+            tc_names=tc_names,
+            fault_events=self.collector.events.snapshot(),
+            fault_trace=(
+                self.injector.trace_bytes().decode() if self.injector is not None else ""
+            ),
+        )
+
+    def _build_result(self) -> ScenarioResult:
+        return assemble_result(
+            self.config,
+            self.collector,
+            self._gather_aggregates(),
+            final_time=self.env.now,
+            qos_digest=(
                 self.qos_controller.report.digest_items()
                 if self.qos_controller is not None
                 else {}
             ),
             qos_report=(
                 self.qos_controller.report if self.qos_controller is not None else None
-            ),
-            fault_events=collector.events.snapshot(),
-            fault_trace=(
-                self.injector.trace_bytes().decode() if self.injector is not None else ""
             ),
         )

@@ -16,6 +16,7 @@ on, so a nightly-CI failure reproduces locally from just the seed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from collections import Counter
@@ -186,6 +187,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             repro_seed(args.seed)
             return 0
+        # CLI-only cap: oversubscribing the pool never helps — the workers
+        # are CPU-bound simulators — it only adds scheduler noise.  Library
+        # callers (tests, campaign scripts) may exceed it deliberately.
+        ncpu = os.cpu_count() or 1
+        if isinstance(args.workers, int) and args.workers > ncpu:
+            raise ConfigError(
+                f"key 'workers' must be <= the machine's CPU count {ncpu} "
+                f"(got {args.workers!r})"
+            )
         result = run_fuzz(
             n_programs=args.count,
             base_seed=args.base_seed,

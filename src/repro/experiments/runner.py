@@ -19,6 +19,7 @@ qos, validate) ignore the pool and run serially.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, Dict, List
@@ -148,6 +149,14 @@ def _validate_workers(workers: object) -> int:
         )
     if workers > MAX_WORKERS:
         raise ConfigError(f"key 'workers' must be <= {MAX_WORKERS} (got {workers!r})")
+    # Oversubscribing the pool never helps — the workers are CPU-bound
+    # simulators — it only adds scheduler noise to the timing numbers.
+    ncpu = os.cpu_count() or 1
+    if workers > ncpu:
+        raise ConfigError(
+            f"key 'workers' must be <= the machine's CPU count {ncpu} "
+            f"(got {workers!r})"
+        )
     return workers
 
 

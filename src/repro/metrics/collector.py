@@ -153,8 +153,13 @@ class Collector:
         return summary
 
     def summaries(self) -> Dict[str, InitiatorSummary]:
+        # Canonical (name-sorted) iteration: every cross-initiator float
+        # reduction downstream must not depend on first-completion order —
+        # a sharded merge cannot reconstruct the serial event interleaving
+        # that decides co-timed first completions, so the aggregation order
+        # is pinned to something both execution modes can agree on.
         out = {}
-        for name in self._records:
+        for name in sorted(self._records):
             summary = self.summary(name)
             if summary.requests:
                 out[name] = summary
@@ -183,8 +188,10 @@ class Collector:
     def combined_latency(self, priority: Optional[Priority] = None) -> LatencyDistribution:
         """Pooled latency distribution across matching initiators."""
         pooled = LatencyDistribution()
-        for name, records in self._records.items():
+        for name in sorted(self._records):  # canonical order; see summaries()
             if priority is not None and self._priorities.get(name) is not priority:
                 continue
-            pooled.extend(r.latency for r in records if self._in_window(r))
+            pooled.extend(
+                r.latency for r in self._records[name] if self._in_window(r)
+            )
         return pooled

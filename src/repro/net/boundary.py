@@ -1,0 +1,228 @@
+"""Shard-edge link adapters for intra-scenario parallel simulation.
+
+A sharded run (see :mod:`repro.parallel.shards`) cuts the star fabric at the
+switch: every initiator node's *uplink* lives in the shard that owns the
+node, and every remote node's *downlink* (switch -> node) lives in the shard
+that owns the switch side (the target shard).  Each boundary link therefore
+has exactly one writer shard, which keeps its serialisation clock, droptail
+queue, and stats authoritative without any cross-process locking.
+
+:class:`ExportLink` is a :class:`~repro.net.link.Link` whose delivery leg is
+replaced by *capture at accept time*: a non-preemptive FIFO wire's schedule
+is fully determined the moment a frame is accepted, so ``deliver_at`` is
+known while the frame is still ``propagation`` microseconds away from the
+far shard.  That gap is the conservative lookahead the window scheduler
+exploits — every frame a shard will receive during the window
+``[W, W + lookahead)`` was already exported at the barrier before ``W``.
+
+Captured frames carry ``(deliver_at, accept_at, link_index, link_seq)``.
+The coordinator sorts a window's exchange by ``(accept_at, link_index,
+link_seq)`` — the order in which the serial run would have *allocated* the
+delivery events' sequence numbers — and the receiving shard injects them in
+that order (batched per timestamp via ``call_at_batch``), so the merged
+event interleaving is deterministic and independent of worker scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Tuple
+
+from ..errors import ConfigError
+from .link import Link
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..simcore.engine import Environment
+    from .topology import Fabric
+
+#: One captured boundary frame:
+#: ``(deliver_at, accept_at, link_index, link_seq, dst_node, packet)``.
+BoundaryMessage = Tuple[float, float, int, int, str, Packet]
+
+
+class ExportLink(Link):
+    """A link whose far end lives in another shard.
+
+    Inherits all of :class:`Link`'s accept-time behaviour (droptail queue,
+    rate serialisation, fault hooks, stats) but captures the fully-scheduled
+    frame into an outbox instead of booking a local delivery event.  The
+    shard coordinator drains the outbox at every window barrier.
+    """
+
+    __slots__ = ("outbox", "link_index", "_link_seq")
+
+    def __init__(
+        self,
+        env: "Environment",
+        rate_gbps: float,
+        propagation_us: float,
+        queue_packets: int,
+        name: str,
+        link_index: int,
+    ) -> None:
+        super().__init__(
+            env,
+            rate_gbps=rate_gbps,
+            propagation_us=propagation_us,
+            queue_packets=queue_packets,
+            name=name,
+        )
+        #: Frames captured since the last barrier drain.
+        self.outbox: List[BoundaryMessage] = []
+        #: Global declaration index of this boundary link — the cross-link
+        #: tiebreak for co-timed accepts (mirrors the serial run's
+        #: declaration-ordered event chains).
+        self.link_index = link_index
+        self._link_seq = 0
+
+    def send(self, packet: Packet) -> bool:
+        """Accept one frame and capture its delivery for the far shard.
+
+        Byte-for-byte the accept path of :meth:`Link.send` — same drop
+        decisions, same serialisation arithmetic, same stats — with the
+        final heap push replaced by an outbox append.  ``_carrier`` is left
+        ``None``: the frame crosses a process boundary and the receiving
+        shard delivers it directly to the sink, never through
+        :meth:`Link._deliver`.
+        """
+        if not self.up:
+            self.stats.dropped += 1
+            self.stats.fault_drops += 1
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, self.name, "drop-linkdown", packet)
+            return False
+        if self.drop_filter is not None and self.drop_filter(packet):
+            self.stats.dropped += 1
+            self.stats.fault_drops += 1
+            if self.tracer.enabled:
+                self.tracer.emit(self.env.now, self.name, "drop-injected", packet)
+            return False
+        env = self.env
+        now = env.now
+        pending = self._pending
+        while pending and pending[0][0] <= now:
+            pending.popleft()
+        if len(pending) >= self.queue_limit:
+            self.stats.dropped += 1
+            if self.tracer.enabled:
+                self.tracer.emit(now, self.name, "drop", packet)
+            return False
+        stats = self.stats
+        stats.enqueued += 1
+        packet.sent_at = now
+        start = self._free_at
+        if start < now:
+            start = now
+        tx_time = packet.wire_size / self.rate
+        end = start + tx_time
+        self._free_at = end
+        stats.busy_time += tx_time
+        deliver_at = end + self.propagation
+        packet.deliver_at = deliver_at
+        packet._carrier = None
+        if start > now:
+            pending.append([start, packet])
+        # Delivery stats are booked at accept: the far shard's injection
+        # bypasses _deliver, and a captured frame is never superseded (rate
+        # renegotiation is gated off for sharded runs).
+        stats.bytes_sent += packet.wire_size
+        if packet.kind == "data":
+            stats.data_packets += 1
+        else:
+            stats.ack_packets += 1
+        stats.delivered += 1
+        seq = self._link_seq
+        self._link_seq = seq + 1
+        self.outbox.append((deliver_at, now, self.link_index, seq, packet.dst, packet))
+        return True
+
+    def drain_outbox(self) -> List[BoundaryMessage]:
+        """Hand the captured frames to the barrier and reset the outbox."""
+        out = self.outbox
+        self.outbox = []
+        return out
+
+    def set_rate_scale(self, scale: float) -> None:  # pragma: no cover - guarded
+        raise ConfigError(
+            f"boundary link {self.name!r} cannot renegotiate its rate: captured "
+            f"frames may already be in flight to another shard (sharded runs "
+            f"gate link-degrade faults to the serial path)"
+        )
+
+
+# -- fabric rewiring -----------------------------------------------------------------
+def export_uplink(fabric: "Fabric", node: str, link_index: int) -> ExportLink:
+    """Replace ``node``'s egress (host -> switch) with an :class:`ExportLink`.
+
+    The shard owning ``node`` keeps the uplink's serialisation clock; the
+    captured delivery time is the frame's arrival at the *switch* (the
+    uplink folds the switch's forwarding delay into its propagation), so the
+    target shard replays ``switch.receive`` at exactly the serial instant.
+    """
+    old = fabric._uplinks[node]
+    exp = ExportLink(
+        fabric.env,
+        rate_gbps=old.rate_gbps,
+        propagation_us=old.propagation,
+        queue_packets=old.queue_limit,
+        name=old.name,
+        link_index=link_index,
+    )
+    fabric._uplinks[node] = exp
+    # Nic.transmit reads ``egress`` per call, so the swap is total.
+    fabric.nic(node).egress = exp
+    return exp
+
+
+def export_downlink(fabric: "Fabric", remote_node: str, link_index: int) -> ExportLink:
+    """Attach an :class:`ExportLink` as the switch port toward a remote node.
+
+    The switch-owning shard keeps the downlink's queue and serialisation
+    state (it is the only writer); the captured delivery time is the frame's
+    arrival at the remote node's NIC.
+    """
+    exp = ExportLink(
+        fabric.env,
+        rate_gbps=fabric.rate_gbps,
+        propagation_us=fabric.propagation_us,
+        queue_packets=fabric.queue_packets,
+        name=f"sw->{remote_node}",
+        link_index=link_index,
+    )
+    fabric.switch.attach(remote_node, exp)
+    # Registered as the node's downlink so fabric.total_drops() counts the
+    # authoritative boundary copy exactly once across all shards.
+    fabric._downlinks[remote_node] = exp
+    return exp
+
+
+def inject_messages(env: "Environment", messages, sinks) -> None:
+    """Schedule received boundary frames into this shard's event heap.
+
+    ``messages`` must arrive sorted by ``(accept_at, link_index, link_seq)``
+    — the serial run's sequence-allocation order for the corresponding
+    delivery events — and is injected immediately in that order, so co-timed
+    deliveries interleave with shard-local events exactly as a single heap
+    would have ordered them.  Runs of frames sharing one ``(deliver_at,
+    sink)`` are batched through ``call_at_batch`` (one heap entry, one
+    contiguous seq run); singletons take ``call_at``.
+
+    ``sinks`` maps a destination node name to its delivery callable:
+    ``switch.receive`` for frames crossing an uplink boundary,
+    ``nic.receive`` for frames crossing a downlink boundary.
+    """
+    call_at = env.call_at
+    batch = env.call_at_batch
+    i = 0
+    n = len(messages)
+    while i < n:
+        deliver_at, _accept, _li, _ls, dst, packet = messages[i]
+        sink = sinks[dst]
+        j = i + 1
+        while j < n and messages[j][0] == deliver_at and messages[j][4] == dst:
+            j += 1
+        if j - i == 1:
+            call_at(deliver_at, sink, packet)
+        else:
+            batch(deliver_at, sink, [m[5] for m in messages[i:j]])
+        i = j

@@ -17,6 +17,15 @@ from .pool import (
     merge_results,
     run_units,
 )
+from .shards import (
+    ScenarioSpec,
+    ShardAssignment,
+    ShardPlan,
+    ShardedRunReport,
+    TenantPlacement,
+    partition,
+    run_sharded,
+)
 from .sweeps import (
     FAULT_MATRIX,
     FUZZ_CHUNK_SIZE,
@@ -77,6 +86,13 @@ __all__ = [
     "run_fig9_parallel",
     "run_fuzz_parallel",
     "run_programs_parallel",
+    "run_sharded",
     "run_units",
+    "ScenarioSpec",
+    "ShardAssignment",
+    "ShardPlan",
+    "ShardedRunReport",
+    "TenantPlacement",
+    "partition",
     "unregister_executor",
 ]
