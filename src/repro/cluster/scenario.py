@@ -310,12 +310,28 @@ class ScenarioResult:
 @dataclass
 class _Prepared:
     """Live handles produced by :meth:`Scenario._prepare` and consumed by
-    the run-lifecycle stages (serial ``run()`` and the sharded workers)."""
+    the run-lifecycle stages (serial ``run()``, the sharded workers, and the
+    service layer's budgeted sessions)."""
 
     connect_events: List[object]
     start_delays: List[float]
     tc_generators: List[PerfGenerator]
     ls_generators: List[PerfGenerator]
+
+
+@dataclass
+class _RunPhase:
+    """Measurement-window bookkeeping between workload launch and quiesce.
+
+    Produced by :meth:`Scenario._on_connected`, consumed by
+    :meth:`Scenario._on_quota_done` — the two lifecycle hooks shared by the
+    blocking ``run()`` and the incremental session driver
+    (``repro.service.session``), so both execute the identical transition
+    code at the identical engine state."""
+
+    workload_start: float
+    marker_armed: List[bool]
+    quota_barrier: object  # AllOf over the quota generators' done events
 
 
 @dataclass
@@ -481,6 +497,11 @@ class Scenario:
         #: faults).  None = the plain Injector.
         self._injector_factory: Optional[Callable] = None
         self._ran = False
+        #: Set by :meth:`_launch_workload`: scripted actions registered after
+        #: this point could never fire, so :meth:`at_workload_time` rejects
+        #: them.  (Between ``_prepare`` and launch they are still legal — the
+        #: service layer injects mid-session actions in that gap.)
+        self._workload_launched = False
 
     # -- construction ----------------------------------------------------------------
     def add_target_node(self, name: Optional[str] = None, n_ssds: int = 1) -> TargetNode:
@@ -540,8 +561,10 @@ class Scenario:
         callbacks fire in registration order, after any same-time staged
         tenant start.
         """
-        if self._ran:
-            raise ConfigError("scenario already ran; script actions before run()")
+        if self._workload_launched:
+            raise ConfigError(
+                "scenario already ran; script actions before the workload launches"
+            )
         if delay_us < 0:
             raise ConfigError("scripted actions cannot run before the workload starts")
         self._scripted.append((float(delay_us), fn))
@@ -571,10 +594,26 @@ class Scenario:
     def run(self) -> ScenarioResult:
         prep = self._prepare()
         env = self.env
-        cfg = self.config
 
         # Handshakes first, then workloads, then the measurement window.
         env.run(until=env.all_of(prep.connect_events))
+        phase = self._on_connected(prep)
+        env.run(until=phase.quota_barrier)
+        self._on_quota_done(prep, phase)
+        env.run()
+        return self._build_result()
+
+    def _on_connected(self, prep: "_Prepared") -> "_RunPhase":
+        """Handshake-complete transition: launch the workload, arm the
+        warmup marker, and build the quota barrier.
+
+        Shared verbatim by ``run()`` and the budgeted session driver: every
+        engine allocation here (the marker process, the barrier condition)
+        happens at the same simulated time and in the same order regardless
+        of which driver reached the transition, so sequence numbers — and
+        therefore replay order — are identical."""
+        env = self.env
+        cfg = self.config
         workload_start = env.now
         self._launch_workload(prep)
 
@@ -587,28 +626,33 @@ class Scenario:
 
         env.process(warmup_marker(env))
 
-        if prep.tc_generators:
-            env.run(until=env.all_of([g.done for g in prep.tc_generators]))
-        else:  # LS-only scenario: the LS quota bounds the run
-            env.run(until=env.all_of([g.done for g in prep.ls_generators]))
+        quota_gens = prep.tc_generators if prep.tc_generators else prep.ls_generators
+        return _RunPhase(
+            workload_start=workload_start,
+            marker_armed=marker_armed,
+            quota_barrier=env.all_of([g.done for g in quota_gens]),
+        )
+
+    def _on_quota_done(self, prep: "_Prepared", phase: "_RunPhase") -> None:
+        """Quota-complete transition: close the measurement window and
+        quiesce (the final ``env.run()`` drain is the caller's)."""
+        env = self.env
         # Disarm the marker: if the whole run fit inside the warmup it must
         # not clobber the window during the quiesce phase below.
-        marker_armed[0] = False
+        phase.marker_armed[0] = False
         self.collector.stop_measuring()
         # Guard against degenerate measurement windows.  Coalesced
         # completions land in window-sized bursts, so a window that covers
         # only a sliver of the run (warmup ~ run length) would measure one
         # burst and report a nonsense rate.  Fall back to the full workload
         # interval when the warmup consumed most of the run.
-        workload_duration = env.now - workload_start
+        workload_duration = env.now - phase.workload_start
         if self.collector.elapsed_us() < 0.3 * workload_duration:
-            self.collector.set_window(workload_start, env.now)
-        self.collector.ensure_window(fallback_start=workload_start)
+            self.collector.set_window(phase.workload_start, env.now)
+        self.collector.ensure_window(fallback_start=phase.workload_start)
 
         # Quiesce: stop open-ended tenants and let in-flight work land.
         self._quiesce(prep)
-        env.run()
-        return self._build_result()
 
     def _prepare(self) -> "_Prepared":
         """Build every live component up to (but excluding) the handshakes.
@@ -749,6 +793,7 @@ class Scenario:
         the same relative order — as the serial run."""
         cfg = self.config
         env = self.env
+        self._workload_launched = True
         if self.injector is not None and cfg.chaos_epoch == "workload":
             self.injector.start()
         if self.qos_controller is not None:

@@ -76,6 +76,12 @@ class InvariantViolation(ReproError):
     (``repro.scenarios.invariants``)."""
 
 
+class ServiceError(ReproError):
+    """Simulation-service control-plane errors (``repro.service``): illegal
+    session state transitions, malformed checkpoints, replay-to-cursor
+    divergence, injection into an already-launched timeline."""
+
+
 class CampaignError(ReproError):
     """A parallel sweep/campaign failed (``repro.parallel``): a work unit
     exhausted its retries, an invariant failed inside a unit, or the merge

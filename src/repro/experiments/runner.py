@@ -14,6 +14,14 @@ the sweep-shaped experiments (fig7, fig8, fig9, fuzz) through the
 ``repro.parallel`` process pool — results are bit-identical to serial, the
 merge is keyed by work-unit id — while point experiments (table1, fig6*,
 qos, validate) ignore the pool and run serially.
+
+``serve`` starts the simulation service instead of an experiment::
+
+    nvme-opf serve --port 8080 --workers 4
+
+hosting scenario programs over HTTP (see ``repro.service``); here
+``--workers`` sizes the session-slicing *thread* pool, not the process
+pool, and defaults to 2.
 """
 
 from __future__ import annotations
@@ -160,6 +168,26 @@ def _validate_workers(workers: object) -> int:
     return workers
 
 
+def _serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: host the simulation service over HTTP."""
+    from ..service import ServiceServer
+
+    workers = args.workers if args.workers else 2
+    try:
+        server = ServiceServer(host=args.host, port=args.port, workers=workers)
+    except (ConfigError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"simulation service listening on {server.address} "
+          f"({workers} worker thread{'s' if workers != 1 else ''})")
+    # Flush before blocking in serve_forever: under a pipe (logging, CI)
+    # the banner must reach the reader before the first request.
+    print("POST a scenario program to /sessions to start a run; Ctrl-C stops.",
+          flush=True)
+    server.serve_forever()
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="nvme-opf",
@@ -167,8 +195,9 @@ def main(argv: List[str] = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which table/figure to regenerate",
+        choices=sorted(EXPERIMENTS) + ["all", "serve"],
+        help="which table/figure to regenerate (or 'serve' to host the "
+        "simulation service)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="reduced grids/op counts for a fast look"
@@ -182,7 +211,18 @@ def main(argv: List[str] = None) -> int:
         "--csv", metavar="DIR", default=None,
         help="also write each experiment's points as CSV under DIR",
     )
+    parser.add_argument(
+        "--port", type=int, default=0, metavar="P",
+        help="serve: TCP port to bind (0 picks an ephemeral port)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="serve: bind address (default 127.0.0.1)",
+    )
     args = parser.parse_args(argv)
+
+    if args.experiment == "serve":
+        return _serve(args)
 
     try:
         workers = _validate_workers(args.workers)

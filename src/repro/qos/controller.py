@@ -205,6 +205,39 @@ class QosController:
                 return True
         return False
 
+    def snapshot_state(self) -> "dict[str, dict]":
+        """Read-only per-tenant control-plane view (service telemetry).
+
+        Walks tenants in the controller's sorted order, combining each
+        telemetry tap's :meth:`~repro.qos.telemetry.TenantTelemetry.peek`
+        with the actuator positions and a live SLO verdict judged with the
+        same rule as the control loop (:meth:`_judge`).  Nothing here drains
+        an interval, moves an estimator, or schedules an event — exporting a
+        snapshot between ticks cannot change what the next tick decides.
+        """
+        out: "dict[str, dict]" = {}
+        for handle in self.handles:
+            view = handle.telemetry.peek()
+            violated = self._judge(
+                handle, view["smoothed_mbps"], view["recent_peak_us"]
+            )
+            slo = handle.slo
+            view.update(
+                window=handle.window,
+                rate_mbps=handle.rate_mbps,
+                slo=(
+                    {
+                        "p99_ceiling_us": slo.p99_ceiling_us,
+                        "throughput_floor_mbps": slo.throughput_floor_mbps,
+                    }
+                    if slo is not None
+                    else None
+                ),
+                slo_violated=violated,
+            )
+            out[handle.name] = view
+        return out
+
     def _apply(self, action: QosAction, now: float) -> None:
         handle = self._by_name.get(action.tenant)
         if handle is None:

@@ -202,6 +202,32 @@ class TenantTelemetry:
             return None
         return self.tail.value
 
+    def peek(self) -> Dict[str, object]:
+        """A read-only view of the streaming estimators (service telemetry).
+
+        Unlike :meth:`snapshot` this drains nothing: interval accumulators,
+        the rate ring, and the peak EWMA are untouched, so interleaving
+        ``peek`` calls between controller ticks cannot perturb the control
+        loop.  The only state change is the pending-completion flush, whose
+        fold is order-preserving and therefore invisible to the next
+        estimator read.  The smoothed rate covers only *closed* intervals
+        (the ring); the current partial interval is reported via ``ops`` so
+        a dashboard can show liveness without a rate claim.
+        """
+        self._flush()
+        ring_us = sum(us for _b, us in self._rate_ring)
+        ring_bytes = sum(b for b, _us in self._rate_ring)
+        return {
+            "total_ops": self._total_ops,
+            "total_failed": self._total_failed,
+            "total_bytes": self._total_bytes,
+            "interval_ops": self._iops,
+            "ewma_latency_us": self.latency_ewma.value,
+            "recent_peak_us": self.peak_ewma.value,
+            "p99_us": self.tail.value if self.tail.count >= MIN_TAIL_SAMPLES else None,
+            "smoothed_mbps": ring_bytes / ring_us if ring_us > 0 else 0.0,
+        }
+
     def snapshot(self, now: float, interval_us: float) -> TelemetrySample:
         """Close the current interval and return its sample.
 

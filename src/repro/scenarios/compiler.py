@@ -21,7 +21,7 @@ bit-identical :meth:`ProgramRun.digest`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster.scenario import Scenario, ScenarioResult
 from ..core.flags import Priority
@@ -187,22 +187,47 @@ class CompiledProgram:
                 )
                 scenario.add_tenant(spec, node, target)
                 bursts += 1
-            elif isinstance(action, TenantLeave):
-                scenario.at_workload_time(cursor, self._leave_fn(action.tenant))
-            elif isinstance(action, SetWindow):
-                scenario.at_workload_time(
-                    cursor, self._window_fn(action.tenant, action.window)
-                )
-            elif isinstance(action, SloChange):
-                scenario.at_workload_time(cursor, self._slo_fn(action))
-            elif isinstance(action, Checkpoint):
-                scenario.at_workload_time(cursor, self._checkpoint_fn(action.label))
-            elif isinstance(action, AssertInvariant):
-                scenario.at_workload_time(cursor, self._assert_fn(action.invariant))
+            elif isinstance(
+                action, (TenantLeave, SetWindow, SloChange, Checkpoint, AssertInvariant)
+            ):
+                self.schedule_action(action, cursor)
             elif isinstance(action, FaultInject):
                 pass  # lowered into the chaos schedule above
             else:  # pragma: no cover - the vocabulary is closed
                 raise ScenarioProgramError(f"cannot lower {type(action).__name__}")
+
+    #: Action ops that lower to a scripted callback (schedulable mid-session).
+    SCRIPTED_OPS = (TenantLeave, SetWindow, SloChange, Checkpoint, AssertInvariant)
+
+    def schedule_action(self, action, at_us: float) -> None:
+        """Register one scripted action at workload-relative time ``at_us``.
+
+        The single lowering point for every scripted op: the compile-time
+        walk above uses it with the program cursor, and the service layer
+        (``repro.service.session``) uses it to inject actions into a session
+        that has not launched its workload yet.  Because both paths append to
+        the same ``Scenario`` scripted list, an injected action is
+        bit-identical to having compiled a program with that action appended
+        — the checkpoint/resume digest proofs lean on this equivalence.
+        """
+        self.scenario.at_workload_time(at_us, self.action_callback(action))
+
+    def action_callback(self, action) -> Callable[[], None]:
+        """The bare actuator closure for one scripted action (the service's
+        post-launch injection path schedules these directly on the engine)."""
+        if isinstance(action, TenantLeave):
+            return self._leave_fn(action.tenant)
+        if isinstance(action, SetWindow):
+            return self._window_fn(action.tenant, action.window)
+        if isinstance(action, SloChange):
+            return self._slo_fn(action)
+        if isinstance(action, Checkpoint):
+            return self._checkpoint_fn(action.label)
+        if isinstance(action, AssertInvariant):
+            return self._assert_fn(action.invariant)
+        raise ScenarioProgramError(
+            f"{action.op!r} actions cannot be scheduled as scripted callbacks"
+        )
 
     # Closure factories (late-bound lookups: the live objects exist only
     # once run() instantiates the tenants).

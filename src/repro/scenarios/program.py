@@ -285,10 +285,24 @@ class ScenarioProgram:
         unknown = sorted(set(data) - known)
         if unknown:
             raise _bad(f"unknown program keys: {unknown}; known: {sorted(known)}")
-        try:
-            actions = tuple(action_from_dict(a) for a in data.get("actions", ()))
-        except TypeError as exc:
-            raise _bad(f"malformed action list: {exc}") from None
+        raw_actions = data.get("actions", ())
+        if not isinstance(raw_actions, (list, tuple)):
+            raise _bad(
+                f"malformed action list: expected a list, got "
+                f"{type(raw_actions).__name__}"
+            )
+        actions: List[Action] = []
+        for index, raw in enumerate(raw_actions):
+            # Locate failures: the service returns these messages verbatim as
+            # HTTP 400 bodies, so an unknown op/key must name which action of
+            # the submitted program it came from, not just what was wrong.
+            op = raw.get("op", "?") if isinstance(raw, dict) else "?"
+            try:
+                actions.append(action_from_dict(raw))
+            except ScenarioProgramError as exc:
+                raise _bad(f"action #{index} ({op!r}): {exc}") from None
+            except TypeError as exc:
+                raise _bad(f"action #{index} ({op!r}): malformed action: {exc}") from None
         return cls(
             name=str(data.get("name", "")),
             config=dict(data.get("config", {})),  # type: ignore[arg-type]

@@ -1,0 +1,43 @@
+"""Simulation-as-a-service control plane (stdlib-only).
+
+``repro.service`` hosts many concurrent simulations behind one process:
+
+* :class:`~repro.service.session.SimSession` — a scenario-program run
+  decomposed into budgeted, resumable slices on the engine's incremental
+  :meth:`~repro.simcore.engine.Environment.advance` loop, with live
+  telemetry snapshots, mid-run action injection, and checkpoint/resume by
+  deterministic replay-to-cursor.
+* :class:`~repro.service.manager.SessionManager` — a worker-thread pool
+  multiplexing every active session in time slices.
+* :class:`~repro.service.server.ServiceServer` — the HTTP API
+  (``http.server``; zero new runtime dependencies) exposing submit /
+  status / telemetry / actions / pause / resume / checkpoint / result.
+* :class:`~repro.service.client.ServiceClient` — the typed stdlib client
+  the tests and examples drive the API with.
+
+The paper's premise — many tenants with different priorities sharing one
+NVMe-oF fabric — is a *service* premise, and this layer is its production
+shape: multi-tenant traffic hitting an API whose backend is the simulator.
+"""
+
+from .client import ServiceApiError, ServiceClient
+from .manager import DEFAULT_SLICE_EVENTS, SessionManager
+from .server import ServiceServer
+from .session import (
+    CHECKPOINT_FORMAT,
+    SessionNotFound,
+    SessionStateError,
+    SimSession,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "DEFAULT_SLICE_EVENTS",
+    "ServiceApiError",
+    "ServiceClient",
+    "ServiceServer",
+    "SessionManager",
+    "SessionNotFound",
+    "SessionStateError",
+    "SimSession",
+]

@@ -328,6 +328,46 @@ class Environment:
             raise SimulationError("the event queue is empty") from None
         fn(arg)
 
+    def advance(
+        self,
+        max_events: Optional[int] = None,
+        until_time: Optional[float] = None,
+        stop: Optional[Event] = None,
+    ) -> int:
+        """Budgeted incremental stepping: process up to ``max_events`` heap
+        entries, none scheduled after ``until_time``, halting immediately
+        after ``stop`` is processed.  Returns the number of entries run.
+
+        This is the non-blocking slice the service control plane multiplexes
+        sessions on: each entry dispatches exactly as :meth:`step` would (one
+        pop, clock set, ``fn(arg)``), so interleaving ``advance`` calls with
+        phase-transition code between them replays bit-identically to one
+        uninterrupted :meth:`run` — the budget boundaries are invisible to
+        the simulation.  An exhausted budget simply returns; the queue stays
+        resumable.  Unlike :meth:`run`, no stop callback is registered on
+        ``stop`` — the caller polls :attr:`Event.processed` — so a budgeted
+        driver adds zero heap entries and zero sequence numbers.
+        """
+        if max_events is not None and max_events < 0:
+            raise SimulationError(f"max_events must be >= 0 (got {max_events!r})")
+        if until_time is not None and not self.now <= until_time < Infinity:
+            raise SimulationError(
+                f"until_time {until_time!r} must be finite and >= now ({self.now!r})"
+            )
+        queue = self._queue
+        n = 0
+        while queue:
+            if max_events is not None and n >= max_events:
+                break
+            if until_time is not None and queue[0][0] > until_time:
+                break
+            self.now, _, _, fn, arg = _heappop(queue)
+            fn(arg)
+            n += 1
+            if stop is not None and stop.callbacks is None:
+                break
+        return n
+
     def run(self, until: Union[None, float, Event] = None) -> Any:
         """Run the simulation.
 

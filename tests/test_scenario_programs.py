@@ -34,6 +34,7 @@ from repro.scenarios import (
     compile_program,
     replay,
 )
+from repro.scenarios import PROGRAM_FORMAT
 from repro.scenarios.invariants import INV_BOOKS, INV_CID, INV_CONSERVATION, INV_SLO
 from repro.scenarios.library import (
     FIG7_CELL,
@@ -502,3 +503,44 @@ class TestLibraryPrograms:
         register_library_programs(registry)
         assert FIG7_CELL in registry and QOS_GUARD in registry
         assert len(registry) == 3
+
+
+class TestLocatedActionErrors:
+    """Malformed action lists must name the offending index and op."""
+
+    def base(self) -> dict:
+        return {
+            "format": PROGRAM_FORMAT,
+            "name": "locate",
+            "config": {"total_ops": 50},
+            "actions": [
+                {"op": "tenant_join", "tenant": "a", "priority": "throughput"},
+                {"op": "advance", "dt_us": 5.0},
+            ],
+        }
+
+    def test_unknown_op_is_located(self):
+        data = self.base()
+        data["actions"].append({"op": "warp_drive"})
+        with pytest.raises(
+            ScenarioProgramError, match=r"action #2 \('warp_drive'\): unknown action op"
+        ):
+            ScenarioProgram.from_dict(data)
+
+    def test_missing_field_is_located(self):
+        data = self.base()
+        data["actions"].insert(1, {"op": "slo_change"})
+        with pytest.raises(ScenarioProgramError, match=r"action #1 \('slo_change'\)"):
+            ScenarioProgram.from_dict(data)
+
+    def test_non_dict_action_is_located(self):
+        data = self.base()
+        data["actions"].append("not-an-action")
+        with pytest.raises(ScenarioProgramError, match=r"action #2 \('\?'\)"):
+            ScenarioProgram.from_dict(data)
+
+    def test_non_list_actions_rejected(self):
+        data = self.base()
+        data["actions"] = {"op": "advance"}
+        with pytest.raises(ScenarioProgramError, match="expected a list, got dict"):
+            ScenarioProgram.from_dict(data)

@@ -381,3 +381,54 @@ def test_event_trigger_copies_outcome():
     fresh = env.event()
     with pytest.raises(SimulationError):
         fresh.trigger(env.event())  # untriggered source rejected
+
+
+# -- budgeted incremental stepping (the service layer's engine primitive) ----
+class TestAdvance:
+    def test_advance_is_dispatch_identical_to_run(self):
+        def build():
+            env = Environment()
+            log = []
+            for delay in (3.0, 1.0, 2.0, 2.0, 5.0):
+                env.call_later(delay, log.append)
+            return env, log
+
+        serial_env, serial_log = build()
+        serial_env.run()
+        stepped_env, stepped_log = build()
+        while len(stepped_env):
+            assert stepped_env.advance(max_events=2) > 0
+        assert stepped_log == serial_log
+        assert stepped_env.now == serial_env.now
+        assert stepped_env._seq == serial_env._seq
+
+    def test_advance_honors_every_budget(self):
+        env = Environment()
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            env.timeout(delay)
+        assert env.advance(max_events=0) == 0
+        assert env.advance(max_events=2) == 2
+        assert env.now == 2.0
+        assert env.advance(until_time=3.0) == 1  # the 4.0 entry stays queued
+        assert len(env) == 1
+        assert env.advance() == 1
+        assert env.advance() == 0  # empty queue: a no-op, not an error
+
+    def test_advance_stops_right_after_stop_event_processes(self):
+        env = Environment()
+        first = env.timeout(1.0)
+        env.timeout(2.0)
+        n = env.advance(stop=first)
+        assert n == 1 and first.processed
+        assert len(env) == 1
+
+    def test_advance_rejects_bad_arguments(self):
+        env = Environment()
+        env.timeout(5.0)
+        env.advance()
+        with pytest.raises(SimulationError, match="max_events"):
+            env.advance(max_events=-1)
+        with pytest.raises(SimulationError, match="until_time"):
+            env.advance(until_time=1.0)  # behind the clock (now == 5.0)
+        with pytest.raises(SimulationError, match="until_time"):
+            env.advance(until_time=float("inf"))
